@@ -1,0 +1,180 @@
+"""E4 — Fig. 3(5): performance comparison across engines per query class.
+
+The demo visualizes computation and communication of GRAPE vs Giraph,
+GraphLab and Blogel over real-life and synthetic graphs. We reproduce
+the grid for the query classes every model can express (SSSP, CC,
+PageRank) on a road network and a community social graph. Expected
+shape: GRAPE at least comparable everywhere and clearly ahead on the
+high-diameter traversal workloads; PageRank — an iterate-until-converge
+workload with little locality to exploit — is where the vertex-centric
+engines come closest (the "comparable to the state-of-the-art at the
+very least" claim).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.helpers import format_rows, run_once, write_result
+from repro.algorithms.cc import CCProgram, CCQuery
+from repro.algorithms.pagerank import PageRankProgram, PageRankQuery
+from repro.algorithms.sssp import SSSPProgram, SSSPQuery
+from repro.baselines.blogel import BlogelEngine
+from repro.baselines.blogel_programs import BlogelSSSP, BlogelWCC
+from repro.baselines.gas import GASEngine
+from repro.baselines.gas_programs import GASPageRank, GASSSSP, GASWCC
+from repro.baselines.pregel import PregelEngine
+from repro.baselines.pregel_programs import (
+    PregelPageRank,
+    PregelSSSP,
+    PregelWCC,
+)
+from repro.core.engine import GrapeEngine
+from repro.graph.fragment import build_fragments
+from repro.graph.generators import community_graph, road_network
+from repro.partition.registry import get_partitioner
+
+WORKERS = 16
+
+
+@pytest.fixture(scope="module")
+def setups():
+    graphs = {
+        "road": road_network(45, 45, seed=4),
+        "social": community_graph(
+            3000, num_communities=24, intra_degree=6, seed=4
+        ),
+    }
+    fragments = {}
+    for name, g in graphs.items():
+        fragments[name] = {
+            strategy: build_fragments(
+                g, get_partitioner(strategy)(g, WORKERS), WORKERS, strategy
+            )
+            for strategy in ("hash", "bfs", "multilevel")
+        }
+    return graphs, fragments
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {}
+
+
+def _grape_runner(qclass, graph, fragd):
+    if qclass == "sssp":
+        return GrapeEngine(fragd).run(SSSPProgram(), SSSPQuery(source=0))
+    if qclass == "cc":
+        return GrapeEngine(fragd).run(CCProgram(), CCQuery())
+    return GrapeEngine(fragd).run(
+        PageRankProgram(total_vertices=graph.num_vertices),
+        PageRankQuery(tolerance=1e-6),
+    )
+
+
+def _pregel_runner(qclass, graph, fragd):
+    if qclass == "sssp":
+        return PregelEngine(fragd).run(PregelSSSP(source=0))
+    if qclass == "cc":
+        return PregelEngine(fragd).run(PregelWCC())
+    return PregelEngine(fragd).run(
+        PregelPageRank(num_vertices=graph.num_vertices, iterations=30)
+    )
+
+
+def _gas_runner(qclass, graph, fragd):
+    if qclass == "sssp":
+        return GASEngine(graph, fragd).run(GASSSSP(source=0))
+    if qclass == "cc":
+        return GASEngine(graph, fragd).run(GASWCC())
+    degrees = {v: graph.out_degree(v) for v in graph.vertices()}
+    # Tolerance must scale with 1/n: ranks are O(1/n), so an absolute
+    # 1e-4 cutoff on a few-thousand-vertex graph converges instantly to
+    # a wrong answer.
+    return GASEngine(graph, fragd).run(
+        GASPageRank(
+            num_vertices=graph.num_vertices,
+            out_degree=degrees,
+            tolerance=0.05 / graph.num_vertices,
+        )
+    )
+
+
+def _blogel_runner(qclass, graph, fragd):
+    if qclass == "sssp":
+        return BlogelEngine(fragd).run(BlogelSSSP(source=0))
+    return BlogelEngine(fragd).run(BlogelWCC())
+
+
+ENGINES = {
+    "GRAPE": ("multilevel", _grape_runner),
+    "Giraph": ("hash", _pregel_runner),
+    "GraphLab": ("hash", _gas_runner),
+    "Blogel": ("bfs", _blogel_runner),
+}
+CLASSES = ("sssp", "cc", "pagerank")
+
+
+@pytest.mark.parametrize("dataset", ["road", "social"])
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+def test_engine_on_dataset(benchmark, setups, results, dataset, engine):
+    graphs, fragments = setups
+    strategy, runner = ENGINES[engine]
+    graph = graphs[dataset]
+    fragd = fragments[dataset][strategy]
+
+    def run_all():
+        out = {}
+        for qclass in CLASSES:
+            if engine == "Blogel" and qclass == "pagerank":
+                continue  # Blogel's published programs cover SSSP/CC
+            out[qclass] = runner(qclass, graph, fragd).metrics
+        return out
+
+    results[(dataset, engine)] = run_once(benchmark, run_all)
+
+
+def test_e4_shape_and_report(benchmark, results):
+    run_once(benchmark, lambda: None)
+    assert len(results) == 8
+    lines = []
+    for dataset in ("road", "social"):
+        for qclass in CLASSES:
+            rows = []
+            for engine in ("GRAPE", "Blogel", "Giraph", "GraphLab"):
+                metrics = results[(dataset, engine)].get(qclass)
+                if metrics is None:
+                    continue
+                rows.append(
+                    [
+                        engine,
+                        metrics.total_time,
+                        metrics.communication_mb,
+                        metrics.num_supersteps,
+                    ]
+                )
+            lines.append(f"\n{dataset} / {qclass}:")
+            lines.append(
+                format_rows(
+                    ["System", "Time(s)", "Comm.(MB)", "Supersteps"], rows
+                )
+            )
+    # Shape: GRAPE wins traversal on the road network decisively.
+    grape_road = results[("road", "GRAPE")]["sssp"]
+    giraph_road = results[("road", "Giraph")]["sssp"]
+    graphlab_road = results[("road", "GraphLab")]["sssp"]
+    assert grape_road.total_time * 2 < giraph_road.total_time
+    assert grape_road.total_time * 2 < graphlab_road.total_time
+    # Shape: GRAPE CC at least comparable everywhere (2x slack for
+    # Blogel, whose block-level CC is structurally GRAPE's own PEval;
+    # run-to-run wall-clock noise at millisecond scale needs headroom).
+    for dataset in ("road", "social"):
+        grape_cc = results[(dataset, "GRAPE")]["cc"]
+        for other in ("Giraph", "GraphLab", "Blogel"):
+            other_cc = results[(dataset, other)]["cc"]
+            assert grape_cc.total_time < other_cc.total_time * 2.0
+    write_result(
+        "E4_query_classes",
+        "E4 / Fig 3(5) — engines x query classes x datasets "
+        f"({WORKERS} workers)\n" + "\n".join(lines),
+    )

@@ -1,0 +1,79 @@
+"""Heap ablation: binary indexed heap vs pairing heap inside Dijkstra.
+
+The paper's Example 1 cites Fredman & Tarjan [3] for PEval's priority
+queue. Asymptotically Fibonacci-class heaps win; in (Python) practice,
+constant factors decide. This bench runs identical Dijkstra workloads
+with both implementations and reports the ratio — documenting the
+engineering choice of the binary heap as the default.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.helpers import format_rows, run_once, write_result
+from repro.algorithms.sequential.dijkstra import dijkstra
+from repro.graph.generators import power_law, road_network
+from repro.utils.heap import IndexedHeap
+from repro.utils.pairing_heap import PairingHeap
+
+GRAPHS = {
+    "road 50x50": lambda: road_network(50, 50, seed=10),
+    "power-law 5000": lambda: power_law(5000, m_per_node=4, seed=10),
+}
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {}
+
+
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+def test_heap_ablation(benchmark, results, graph_name):
+    graph = GRAPHS[graph_name]()
+
+    def run():
+        timings = {}
+        answers = {}
+        for label, factory in (
+            ("binary", IndexedHeap),
+            ("pairing", PairingHeap),
+        ):
+            best = float("inf")
+            for _ in range(3):
+                start = time.perf_counter()
+                dist, settled = dijkstra(
+                    graph, {0: 0.0}, heap_factory=factory
+                )
+                best = min(best, time.perf_counter() - start)
+            timings[label] = best
+            answers[label] = dist
+        return timings, answers
+
+    timings, answers = run_once(benchmark, run)
+    # Identical answers regardless of heap.
+    assert answers["binary"] == answers["pairing"]
+    results[graph_name] = timings
+
+
+def test_heaps_report(benchmark, results):
+    run_once(benchmark, lambda: None)
+    assert len(results) == len(GRAPHS)
+    rows = [
+        [
+            name,
+            timings["binary"],
+            timings["pairing"],
+            timings["pairing"] / timings["binary"],
+        ]
+        for name, timings in sorted(results.items())
+    ]
+    table = format_rows(
+        ["Workload", "Binary heap (s)", "Pairing heap (s)", "Ratio"], rows
+    )
+    write_result(
+        "A1_heap_ablation",
+        "A1 — Dijkstra priority-queue ablation (best of 3)\n" + table,
+    )

@@ -1,0 +1,48 @@
+"""Shared infrastructure for the experiment benchmarks (E1–E8).
+
+Each bench regenerates one table/figure of the paper's evaluation at
+laptop scale: it runs the experiment on the simulated cluster, asserts
+the *shape* the paper reports (who wins, roughly by how much), prints
+the paper-style rows, and writes them under ``benchmarks/results/`` so
+EXPERIMENTS.md can cite measured numbers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    """Print a result table and persist it to benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")
+
+
+def format_rows(headers: list[str], rows: list[list[object]]) -> str:
+    """Fixed-width table matching the paper's presentation style."""
+    table = [headers] + [
+        [
+            f"{cell:.4f}" if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [max(len(r[i]) for r in table) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(table):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if idx == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its value.
+
+    Engine runs take seconds; calibration loops would multiply the suite
+    runtime for no statistical gain on a deterministic simulator.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

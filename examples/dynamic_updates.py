@@ -1,0 +1,77 @@
+"""Dynamic graphs: repair a fixed point after edge insertions (ΔG).
+
+GRAPE's IncEval is an incremental algorithm; this extension applies it
+to changes of the *graph itself*. We answer an SSSP query, then open a
+few new roads (edge insertions) and repair the answer incrementally —
+orders of magnitude less work than recomputing, with identical results.
+
+Run:  python examples/dynamic_updates.py
+"""
+
+from repro.algorithms import SSSPProgram, SSSPQuery
+from repro.algorithms.sequential import single_source
+from repro.core.engine import GrapeEngine
+from repro.core.incremental import EdgeInsertion
+from repro.graph.fragment import build_fragments
+from repro.graph.generators import road_network
+from repro.partition.registry import get_partitioner
+
+
+def main() -> None:
+    graph = road_network(30, 30, seed=17, removal_prob=0.0)
+    corner = 30 * 30 - 1
+    assignment = get_partitioner("bfs")(graph, 6)
+    fragd = build_fragments(graph, assignment, 6, "bfs")
+    engine = GrapeEngine(fragd)
+    program = SSSPProgram()
+
+    first = engine.run(program, SSSPQuery(source=0), keep_state=True)
+    initial_work = sum(s for _, _, s in program.work_log)
+    print(f"initial run : dist(0 -> {corner}) = {first.answer[corner]:.2f}, "
+          f"{initial_work} vertices settled, "
+          f"{first.num_supersteps} supersteps")
+
+    # --- Update 1: a local side street. ΔO is tiny, so the bounded
+    # IncEval repairs the answer with a handful of settled vertices.
+    side_street = EdgeInsertion(12, 43, first.answer[43] - first.answer[12] - 0.2)
+    graph.add_edge(side_street.src, side_street.dst, side_street.weight)
+    program.work_log.clear()
+    second = engine.run_incremental(
+        program, SSSPQuery(source=0), first.state, [side_street]
+    )
+    small_work = sum(s for _, _, s in program.work_log)
+    print(f"\nside street : repaired with {small_work} settled vertices "
+          f"({small_work / initial_work:.1%} of the initial fixpoint)")
+
+    # --- Update 2: a cross-town highway. Nearly every distance changes,
+    # so |ΔO| ~ |V| and the repair legitimately touches everything —
+    # bounded means 'proportional to the change', not 'always cheap'.
+    highway = [
+        EdgeInsertion(0, 435, 2.0),
+        EdgeInsertion(435, corner, 3.0),
+    ]
+    for ins in highway:
+        graph.add_edge(ins.src, ins.dst, ins.weight)
+    program.work_log.clear()
+    third = engine.run_incremental(
+        program, SSSPQuery(source=0), second.state, highway
+    )
+    big_work = sum(s for _, _, s in program.work_log)
+    print(f"highway     : dist(0 -> {corner}) drops "
+          f"{second.answer[corner]:.2f} -> {third.answer[corner]:.2f}; "
+          f"{big_work} settled ({big_work / initial_work:.1%} — "
+          "the whole map re-routes)")
+
+    oracle = single_source(graph, 0)
+    mismatches = sum(
+        1
+        for v in graph.vertices()
+        if abs(third.answer.get(v, float("inf")) - oracle[v]) > 1e-9
+        and third.answer.get(v, float("inf")) != oracle[v]
+    )
+    print(f"\nvs full recomputation after both updates: "
+          f"{mismatches} mismatches")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Partition playground — the demo's partition-strategy picker (Fig. 3(2)).
+
+Compares every registered partition strategy on two structurally
+different graphs (road grid vs community social network), showing cut
+quality, balance, and the downstream effect on one SSSP query's
+communication — the Section-3 experiment as an interactive script.
+
+Run:  python examples/partition_playground.py
+"""
+
+from repro.algorithms import SSSPProgram, SSSPQuery
+from repro.core.engine import GrapeEngine
+from repro.graph.fragment import build_fragments
+from repro.graph.generators import community_graph, road_network
+from repro.partition.base import evaluate_partition
+from repro.partition.registry import available_strategies, get_partitioner
+
+WORKERS = 8
+
+
+def explore(name: str, graph) -> None:
+    print(f"\n=== {name}: |V|={graph.num_vertices} |E|={graph.num_edges} "
+          f"({WORKERS} workers) ===")
+    header = (f"{'strategy':<12} {'cut':>7} {'cut%':>7} {'balance':>8} "
+              f"{'sssp time':>10} {'comm MB':>9} {'msgs':>6}")
+    print(header)
+    print("-" * len(header))
+    for strategy in available_strategies():
+        if strategy == "metis":
+            continue  # alias of multilevel
+        partitioner = get_partitioner(strategy)
+        assignment = partitioner(graph, WORKERS)
+        report = evaluate_partition(graph, assignment, WORKERS, strategy)
+        fragd = build_fragments(graph, assignment, WORKERS, strategy)
+        result = GrapeEngine(fragd).run(SSSPProgram(), SSSPQuery(source=0))
+        print(
+            f"{strategy:<12} {report.cut_edges:>7} "
+            f"{report.cut_fraction:>6.1%} {report.balance:>8.3f} "
+            f"{result.total_time:>9.4f}s "
+            f"{result.metrics.communication_mb:>9.4f} "
+            f"{result.metrics.total_messages:>6}"
+        )
+
+
+def main() -> None:
+    explore("road network", road_network(30, 30, seed=5))
+    explore(
+        "community social network",
+        community_graph(2000, num_communities=16, intra_degree=6, seed=5),
+    )
+    print(
+        "\nTakeaway (Section 3): locality-aware strategies cut fewer "
+        "edges,\nwhich directly shrinks update-parameter traffic and "
+        "response time."
+    )
+
+
+if __name__ == "__main__":
+    main()

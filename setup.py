@@ -1,0 +1,5 @@
+"""Setup shim: enables `python setup.py develop` on hosts without the
+`wheel` package (pip's PEP 517 editable path needs bdist_wheel)."""
+from setuptools import setup
+
+setup()

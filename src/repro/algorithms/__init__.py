@@ -1,0 +1,40 @@
+"""PIE programs for the demo's query classes.
+
+The library registers PIE programs for the classes the demo walks
+through: SSSP, graph simulation (Sim), subgraph isomorphism (SubIso),
+keyword search (Keyword), connected components (CC) and collaborative
+filtering (CF) — plus PageRank as an extension. Each module pairs a
+sequential algorithm (PEval) with a sequential incremental algorithm
+(IncEval) from :mod:`repro.algorithms.sequential`.
+"""
+
+from repro.algorithms.sssp import SSSPProgram, SSSPQuery
+from repro.algorithms.cc import CCProgram, CCQuery
+from repro.algorithms.simulation import SimProgram, SimQuery
+from repro.algorithms.subiso import SubIsoProgram, SubIsoQuery
+from repro.algorithms.keyword import KeywordProgram, KeywordQuery
+from repro.algorithms.cf import CFProgram, CFQuery
+from repro.algorithms.pagerank import PageRankProgram, PageRankQuery
+from repro.algorithms.bfs import BFSProgram, BFSQuery
+from repro.algorithms.kcore import KCoreProgram, KCoreQuery
+
+__all__ = [
+    "BFSProgram",
+    "BFSQuery",
+    "KCoreProgram",
+    "KCoreQuery",
+    "SSSPProgram",
+    "SSSPQuery",
+    "CCProgram",
+    "CCQuery",
+    "SimProgram",
+    "SimQuery",
+    "SubIsoProgram",
+    "SubIsoQuery",
+    "KeywordProgram",
+    "KeywordQuery",
+    "CFProgram",
+    "CFQuery",
+    "PageRankProgram",
+    "PageRankQuery",
+]

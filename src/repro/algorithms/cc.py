@@ -1,0 +1,135 @@
+"""PIE program for connected-component detection (CC).
+
+PEval labels every vertex of the local fragment with the minimum vertex
+id of its local (weakly connected) component — plain union-find. Border
+variables carry the labels under aggregate function ``min``; IncEval
+propagates lowered labels by BFS, bounded by the relabeled region. At
+the fixed point every vertex holds the minimum id of its *global*
+component; Assemble min-merges partial labelings.
+
+Vertex ids must be totally ordered (all bundled generators use ints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from repro.algorithms.sequential.cc_seq import (
+    connected_components,
+    incremental_min_labels,
+)
+from repro.core.aggregators import MIN
+from repro.core.pie import ParamSpec, PIEProgram
+from repro.core.update_params import UpdateParams
+from repro.graph.fragment import Fragment
+
+VertexId = Hashable
+
+Partial = dict  # vertex -> smallest known component label
+
+
+@dataclass(frozen=True)
+class CCQuery:
+    """Connected components of the whole graph (no parameters)."""
+
+
+class CCProgram(PIEProgram[CCQuery, Partial, dict]):
+    """Union-find + incremental min-label propagation, as a PIE program."""
+
+    name = "cc"
+
+    def __init__(self) -> None:
+        self.work_log: list[tuple[str, int, int]] = []
+
+    def param_spec(self, query: CCQuery) -> ParamSpec:
+        # None = "no label yet"; the first concrete label always wins.
+        return ParamSpec(aggregator=MIN, default=None)
+
+    def peval(
+        self, fragment: Fragment, query: CCQuery, params: UpdateParams
+    ) -> Partial:
+        labels = connected_components(fragment.graph)
+        self.work_log.append(("peval", fragment.fid, len(labels)))
+        for v in fragment.border:
+            params.improve(v, labels[v])
+        return labels
+
+    def inceval(
+        self,
+        fragment: Fragment,
+        query: CCQuery,
+        partial: Partial,
+        params: UpdateParams,
+        changed: set[VertexId],
+    ) -> Partial:
+        decreased = {v: params.get(v) for v in changed}
+        changes, touched = incremental_min_labels(
+            fragment.graph, partial, decreased
+        )
+        self.work_log.append(("inceval", fragment.fid, touched))
+        for v, label in changes.items():
+            if v in fragment.inner_border or v in fragment.mirrors:
+                params.improve(v, label)
+        return partial
+
+    def on_graph_update(
+        self,
+        fragment: Fragment,
+        query: CCQuery,
+        partial: Partial,
+        params: UpdateParams,
+        insertions,
+    ) -> Partial:
+        """ΔG hook: an inserted edge merges two components (labels drop).
+
+        Connectivity is undirected, so the merge must flow both ways
+        across a cross-fragment edge: the side owning only the *target*
+        exports the target's current label (the insertion just made it a
+        border vertex the other side has never heard about).
+        """
+        decreased: dict[VertexId, VertexId] = {}
+        for ins in insertions:
+            if ins.dst in fragment.owned and ins.src not in fragment.owned:
+                # We own the target of a cross edge: the source side has
+                # a brand-new mirror of it — publish our current label so
+                # the merge can flow backwards across the new edge.
+                label = partial.get(ins.dst)
+                if label is not None:
+                    params.declare([ins.dst])
+                    params.improve(ins.dst, label)
+                    params.touch(ins.dst)  # new mirror must hear it
+            lu = partial.get(ins.src)
+            if lu is None:
+                lu = params.get(ins.src)
+            lv = partial.get(ins.dst)
+            if lv is None:
+                lv = params.get(ins.dst)
+            candidates = [x for x in (lu, lv) if x is not None]
+            if not candidates:
+                continue
+            smallest = min(candidates)
+            for endpoint, label in ((ins.src, lu), (ins.dst, lv)):
+                if endpoint not in fragment.graph:
+                    continue
+                if label is None or smallest < label:
+                    if smallest < decreased.get(endpoint, endpoint):
+                        decreased[endpoint] = smallest
+        changes, touched = incremental_min_labels(
+            fragment.graph, partial, decreased
+        )
+        self.work_log.append(("update", fragment.fid, touched))
+        for v, label in changes.items():
+            if v in fragment.inner_border or v in fragment.mirrors:
+                params.improve(v, label)
+        return partial
+
+    def assemble(
+        self, query: CCQuery, partials: Sequence[Partial]
+    ) -> dict[VertexId, VertexId]:
+        result: dict[VertexId, VertexId] = {}
+        for partial in partials:
+            for v, label in partial.items():
+                if v not in result or label < result[v]:
+                    result[v] = label
+        return result

@@ -1,0 +1,126 @@
+"""PIE program for k-core decomposition (library extension).
+
+Distributed core numbers via Montresor-style convergent H-index
+estimates: every vertex starts at its degree and repeatedly lowers its
+estimate to the h-index of its neighbors' estimates. Estimates only
+decrease (aggregate function ``min``), so the Assurance Theorem applies
+and the engine's monotonicity checker can verify every write.
+
+* **PEval** — iterate H-index rounds to the local fixed point, treating
+  mirror estimates as optimistic external values.
+* **IncEval** — re-iterate only from the neighbors of mirrors whose
+  estimates dropped (bounded by the affected region).
+* **Assemble** — owners' final estimates are the core numbers.
+
+Requires a *symmetric* edge set (both directions stored), since a
+fragment only sees the out-edges of its owned vertices; all bundled
+traversal generators satisfy this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from repro.algorithms.sequential.kcore_seq import converge_h_index
+from repro.core.aggregators import MIN
+from repro.core.pie import ParamSpec, PIEProgram
+from repro.core.update_params import UpdateParams
+from repro.graph.fragment import Fragment
+
+VertexId = Hashable
+
+Partial = dict  # owned vertex -> current core estimate
+
+
+@dataclass(frozen=True)
+class KCoreQuery:
+    """Core numbers of every vertex (no parameters)."""
+
+
+class KCoreProgram(PIEProgram[KCoreQuery, Partial, dict]):
+    """Convergent H-index k-core as a PIE program."""
+
+    name = "kcore"
+
+    def __init__(self) -> None:
+        self.work_log: list[tuple[str, int, int]] = []
+
+    def param_spec(self, query: KCoreQuery) -> ParamSpec:
+        # None = "estimate unknown": the first concrete estimate wins.
+        return ParamSpec(aggregator=MIN, default=None)
+
+    def _external(self, fragment: Fragment, params: UpdateParams) -> dict:
+        out = {}
+        for m in fragment.mirrors:
+            value = params.get(m)
+            if value is not None:
+                out[m] = value
+        return out
+
+    def _export(
+        self, fragment: Fragment, partial: Partial, params: UpdateParams
+    ) -> None:
+        for v in fragment.inner_border:
+            params.improve(v, partial[v])
+
+    def peval(
+        self, fragment: Fragment, query: KCoreQuery, params: UpdateParams
+    ) -> Partial:
+        partial: Partial = {
+            v: len(set(fragment.graph.neighbors(v)) - {v})
+            for v in fragment.owned
+        }
+        _, work = converge_h_index(
+            fragment.graph, partial, external=self._external(fragment, params)
+        )
+        self.work_log.append(("peval", fragment.fid, work))
+        self._export(fragment, partial, params)
+        return partial
+
+    def inceval(
+        self,
+        fragment: Fragment,
+        query: KCoreQuery,
+        partial: Partial,
+        params: UpdateParams,
+        changed: set[VertexId],
+    ) -> Partial:
+        dirty = {
+            p
+            for m in changed
+            if m in fragment.graph
+            for p in fragment.graph.neighbors(m)
+            if p in partial
+        }
+        external = self._external(fragment, params)
+        from repro.algorithms.sequential.kcore_seq import h_index_round
+
+        total_work = 0
+        while dirty:
+            changes, work = h_index_round(
+                fragment.graph, partial, external=external, vertices=dirty
+            )
+            total_work += work
+            if not changes:
+                break
+            partial.update(changes)
+            dirty = {
+                p
+                for v in changes
+                for p in fragment.graph.neighbors(v)
+                if p in partial
+            }
+        self.work_log.append(("inceval", fragment.fid, total_work))
+        self._export(fragment, partial, params)
+        return partial
+
+    def assemble(
+        self, query: KCoreQuery, partials: Sequence[Partial]
+    ) -> dict[VertexId, int]:
+        result: dict[VertexId, int] = {}
+        for partial in partials:
+            for v, estimate in partial.items():
+                if v not in result or estimate < result[v]:
+                    result[v] = estimate
+        return result

@@ -1,0 +1,101 @@
+"""Collaborative filtering: matrix-factorization SGD on a rating graph.
+
+The demo lists CF among the PIE programs registered in GRAPE's library.
+The model is classic latent-factor MF: rating(u, i) ≈ p_u · q_i + b_u +
+b_i + mu, trained by stochastic gradient descent over rating edges. The
+sequential building blocks here — one SGD epoch over a set of edges, and
+RMSE evaluation — are what CF's PEval/IncEval run per fragment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Sequence
+
+from repro.utils.rng import make_rng
+
+VertexId = Hashable
+Rating = tuple[VertexId, VertexId, float]  # (user, item, rating)
+
+
+@dataclass
+class FactorModel:
+    """Latent factors and biases for users and items."""
+
+    rank: int
+    mean: float = 0.0
+    user_factors: dict[VertexId, list[float]] = field(default_factory=dict)
+    item_factors: dict[VertexId, list[float]] = field(default_factory=dict)
+    user_bias: dict[VertexId, float] = field(default_factory=dict)
+    item_bias: dict[VertexId, float] = field(default_factory=dict)
+
+    def ensure(self, users: Iterable[VertexId], items: Iterable[VertexId],
+               seed: int | None = 0) -> None:
+        """Initialize factors for unseen users/items (deterministic)."""
+        rng = make_rng(seed, "cf-init")
+        scale = 1.0 / math.sqrt(self.rank)
+        for u in users:
+            if u not in self.user_factors:
+                self.user_factors[u] = [
+                    rng.gauss(0, scale) for _ in range(self.rank)
+                ]
+                self.user_bias[u] = 0.0
+        for i in items:
+            if i not in self.item_factors:
+                self.item_factors[i] = [
+                    rng.gauss(0, scale) for _ in range(self.rank)
+                ]
+                self.item_bias[i] = 0.0
+
+    def predict(self, user: VertexId, item: VertexId) -> float:
+        """Predicted rating for ``(user, item)`` under the model."""
+        p = self.user_factors.get(user)
+        q = self.item_factors.get(item)
+        dot = sum(a * b for a, b in zip(p, q)) if p and q else 0.0
+        return (
+            self.mean
+            + self.user_bias.get(user, 0.0)
+            + self.item_bias.get(item, 0.0)
+            + dot
+        )
+
+
+def sgd_epoch(
+    model: FactorModel,
+    ratings: Sequence[Rating],
+    lr: float = 0.02,
+    reg: float = 0.05,
+    seed: int | None = 0,
+) -> float:
+    """One SGD pass over ``ratings`` (shuffled deterministically).
+
+    Returns the epoch's mean squared error before updates (for
+    convergence tracking).
+    """
+    order = list(range(len(ratings)))
+    make_rng(seed, "cf-epoch").shuffle(order)
+    total_sq = 0.0
+    for idx in order:
+        user, item, rating = ratings[idx]
+        err = rating - model.predict(user, item)
+        total_sq += err * err
+        p = model.user_factors[user]
+        q = model.item_factors[item]
+        model.user_bias[user] += lr * (err - reg * model.user_bias[user])
+        model.item_bias[item] += lr * (err - reg * model.item_bias[item])
+        for k in range(model.rank):
+            pk, qk = p[k], q[k]
+            p[k] += lr * (err * qk - reg * pk)
+            q[k] += lr * (err * pk - reg * qk)
+    return total_sq / max(1, len(ratings))
+
+
+def rmse(model: FactorModel, ratings: Sequence[Rating]) -> float:
+    """Root mean squared prediction error over ``ratings``."""
+    if not ratings:
+        return 0.0
+    total = sum(
+        (r - model.predict(u, i)) ** 2 for u, i, r in ratings
+    )
+    return math.sqrt(total / len(ratings))

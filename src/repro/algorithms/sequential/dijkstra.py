@@ -1,0 +1,73 @@
+"""Dijkstra's algorithm — the paper's PEval for SSSP (Example 1).
+
+The multi-seed form computes, for every vertex, the least cost of
+reaching it from any seed given the seeds' starting costs. PEval seeds
+with ``{source: 0}``; IncEval seeds with the border vertices whose
+update parameters just decreased — the same routine serves both, which
+is exactly the reuse the PIE model advertises.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from repro.graph.digraph import Graph
+from repro.utils.heap import IndexedHeap
+
+VertexId = Hashable
+
+#: Distance of unreachable vertices.
+INF = float("inf")
+
+
+def dijkstra(
+    graph: Graph,
+    seeds: Mapping[VertexId, float],
+    known: Mapping[VertexId, float] | None = None,
+    heap_factory=IndexedHeap,
+) -> tuple[dict[VertexId, float], int]:
+    """Multi-seed Dijkstra with optional prior distances.
+
+    Args:
+        graph: the (fragment-local) graph.
+        seeds: starting vertices and their starting costs.
+        known: previously settled distances; a vertex is only re-settled
+            (and its edges only re-relaxed) if the new cost improves on
+            ``known`` — this is what makes the incremental call *bounded*
+            by the affected region instead of the fragment size.
+        heap_factory: priority-queue implementation —
+            :class:`~repro.utils.heap.IndexedHeap` (default) or
+            :class:`~repro.utils.pairing_heap.PairingHeap`, the
+            Fredman–Tarjan-class structure the paper cites.
+
+    Returns:
+        (distance updates, settled count). ``distance updates`` contains
+        every vertex whose distance improved (including seeds that did).
+    """
+    dist: dict[VertexId, float] = {}
+    prior = known or {}
+    heap = heap_factory()
+    for v, cost in seeds.items():
+        if v in graph and cost < prior.get(v, INF):
+            heap.push_if_lower(v, cost)
+    settled = 0
+    while heap:
+        v, cost = heap.pop()
+        if cost >= dist.get(v, prior.get(v, INF)):
+            continue
+        dist[v] = cost
+        settled += 1
+        for edge in graph.out_edges(v):
+            candidate = cost + edge.weight
+            best = dist.get(edge.dst, prior.get(edge.dst, INF))
+            if candidate < best:
+                heap.push_if_lower(edge.dst, candidate)
+    return dist, settled
+
+
+def single_source(graph: Graph, source: VertexId) -> dict[VertexId, float]:
+    """Classic SSSP from one source; unreachable vertices get ``inf``."""
+    updates, _ = dijkstra(graph, {source: 0.0})
+    out = {v: INF for v in graph.vertices()}
+    out.update(updates)
+    return out

@@ -1,0 +1,138 @@
+"""k-core decomposition: sequential peeling + H-index iteration.
+
+The *core number* of a vertex is the largest ``k`` such that the vertex
+belongs to a subgraph where every vertex has degree ≥ k. Two classic
+sequential algorithms:
+
+* :func:`core_numbers` — Matula–Beck peeling (repeatedly remove the
+  minimum-degree vertex), the exact linear-time oracle;
+* :func:`h_index_round` — one round of Montresor et al.'s convergent
+  estimate ``core(v) <- H(core(n1), ..., core(nk))`` where ``H`` is the
+  h-index of the neighbor estimates. Estimates start at the degree and
+  only decrease, which is exactly the monotonicity the PIE engine needs.
+
+Both treat adjacency as undirected and assume a *symmetric* edge set
+(every bundled traversal generator stores both directions), because a
+fragment only sees the out-edges of its owned vertices.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+from repro.graph.digraph import Graph
+
+VertexId = Hashable
+
+
+def core_numbers(graph: Graph) -> dict[VertexId, int]:
+    """Exact core numbers by min-degree peeling (undirected semantics)."""
+    degree = {v: len(set(graph.neighbors(v))) for v in graph.vertices()}
+    # bucket queue over degrees
+    buckets: dict[int, set[VertexId]] = {}
+    for v, d in degree.items():
+        buckets.setdefault(d, set()).add(v)
+    core: dict[VertexId, int] = {}
+    current = 0
+    remaining = set(degree)
+    while remaining:
+        while current not in buckets or not buckets[current]:
+            current += 1
+            if current > len(degree):
+                break
+        if current > len(degree):
+            break
+        v = buckets[current].pop()
+        if v not in remaining:
+            continue
+        remaining.discard(v)
+        core[v] = current
+        for u in set(graph.neighbors(v)):
+            if u in remaining and degree[u] > current:
+                buckets[degree[u]].discard(u)
+                degree[u] -= 1
+                buckets.setdefault(degree[u], set()).add(u)
+                if degree[u] < current:
+                    current = degree[u]
+    return core
+
+
+def h_index(values: Iterable[int]) -> int:
+    """Largest h such that at least h of the values are >= h."""
+    counts = sorted(values, reverse=True)
+    h = 0
+    for i, value in enumerate(counts, start=1):
+        if value >= i:
+            h = i
+        else:
+            break
+    return h
+
+
+def h_index_round(
+    graph: Graph,
+    estimate: Mapping[VertexId, int],
+    external: Mapping[VertexId, int] | None = None,
+    vertices: Iterable[VertexId] | None = None,
+) -> tuple[dict[VertexId, int], int]:
+    """One synchronous H-index improvement round over ``vertices``.
+
+    ``estimate`` holds current (over-)estimates for local vertices;
+    ``external`` supplies estimates for neighbors not in ``estimate``
+    (mirror update parameters). Returns (decreases applied, work count).
+    """
+    external = external or {}
+    changes: dict[VertexId, int] = {}
+    work = 0
+    targets = estimate.keys() if vertices is None else vertices
+    for v in targets:
+        if v not in estimate:
+            continue
+        work += 1
+        nbr_estimates = []
+        for u in set(graph.neighbors(v)):
+            if u == v:
+                continue
+            if u in estimate:
+                nbr_estimates.append(changes.get(u, estimate[u]))
+            else:
+                # Unknown external estimates must stay optimistic (+inf):
+                # the H-index iteration only converges from above.
+                nbr_estimates.append(external.get(u, float("inf")))
+        new = min(estimate[v], h_index(nbr_estimates))
+        if new < estimate[v]:
+            changes[v] = new
+    return changes, work
+
+
+def converge_h_index(
+    graph: Graph,
+    estimate: dict[VertexId, int],
+    external: Mapping[VertexId, int] | None = None,
+    max_rounds: int = 10_000,
+) -> tuple[dict[VertexId, int], int]:
+    """Iterate :func:`h_index_round` to the local fixed point in place.
+
+    Returns (all changed vertices with final values, total work).
+    """
+    all_changes: dict[VertexId, int] = {}
+    total_work = 0
+    dirty: Iterable[VertexId] | None = None
+    for _ in range(max_rounds):
+        changes, work = h_index_round(
+            graph, estimate, external=external, vertices=dirty
+        )
+        total_work += work
+        if not changes:
+            break
+        estimate.update(changes)
+        all_changes.update(changes)
+        # only neighbors of changed vertices can improve next round
+        dirty = {
+            p
+            for v in changes
+            if v in graph
+            for p in graph.neighbors(v)
+            if p in estimate
+        }
+    return all_changes, total_work

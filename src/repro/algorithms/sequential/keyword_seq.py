@@ -1,0 +1,116 @@
+"""Keyword search in graphs: bounded-distance keyword cover.
+
+Semantics (distinct-root): a query is a set of keywords and a radius
+``r``. A vertex ``v`` *covers* keyword ``k`` at distance ``d`` if some
+vertex holding ``k`` is reachable from ``v`` along out-edges within
+``d <= r`` hops. Answer roots are vertices covering *every* keyword,
+ranked by total distance — the classic BANKS/BLINKS-style rooted
+semantics reduced to its distance core.
+
+A vertex holds a keyword when the keyword appears in its label or in its
+``keywords``/``name`` properties.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Mapping
+
+from repro.graph.digraph import Graph
+
+VertexId = Hashable
+
+#: Sentinel for "keyword not reachable within the radius".
+UNREACHED = float("inf")
+
+
+def holds_keyword(graph: Graph, v: VertexId, keyword: str) -> bool:
+    """True if vertex ``v`` carries ``keyword`` in label or properties."""
+    keyword = keyword.lower()
+    label = graph.vertex_label(v)
+    if label is not None and keyword == label.lower():
+        return True
+    props = graph.vertex_props(v)
+    words = props.get("keywords")
+    if isinstance(words, (list, tuple, set, frozenset)) and any(
+        keyword == str(w).lower() for w in words
+    ):
+        return True
+    name = props.get("name")
+    return name is not None and keyword == str(name).lower()
+
+
+def keyword_distances(
+    graph: Graph,
+    keyword: str,
+    radius: int,
+    seeds: Mapping[VertexId, float] | None = None,
+    known: Mapping[VertexId, float] | None = None,
+    scan_holders: bool = True,
+) -> tuple[dict[VertexId, float], int]:
+    """Distance from each vertex to the nearest holder of ``keyword``.
+
+    Backward BFS: holders are at distance 0; a vertex is at distance
+    ``d+1`` if an out-neighbor is at ``d``. ``seeds`` inject externally
+    known distances (mirror update parameters); ``known`` suppresses
+    re-deriving distances that did not improve. Search stops at
+    ``radius``.
+
+    ``scan_holders=False`` skips the O(|V|) holder scan — incremental
+    callers whose ``known`` map already contains every holder at
+    distance 0 must disable it, or the scan alone would make each
+    incremental round cost Θ(|F|) regardless of the change size.
+
+    Returns (improvements, visited count).
+    """
+    prior = known or {}
+    queue: deque[tuple[VertexId, float]] = deque()
+    updates: dict[VertexId, float] = {}
+    if scan_holders:
+        for v in graph.vertices():
+            if (
+                holds_keyword(graph, v, keyword)
+                and 0.0 < prior.get(v, UNREACHED)
+            ):
+                updates[v] = 0.0
+                queue.append((v, 0.0))
+    for v, d in (seeds or {}).items():
+        if (
+            v in graph
+            and d <= radius
+            and d < prior.get(v, UNREACHED)
+            and d < updates.get(v, UNREACHED)
+        ):
+            updates[v] = d
+            queue.append((v, d))
+    visited = 0
+    while queue:
+        v, d = queue.popleft()
+        if d > updates.get(v, prior.get(v, UNREACHED)):
+            continue  # stale entry
+        visited += 1
+        if d >= radius:
+            continue
+        for u in graph.in_neighbors(v):
+            nd = d + 1
+            if nd < updates.get(u, prior.get(u, UNREACHED)):
+                updates[u] = nd
+                queue.append((u, nd))
+    return updates, visited
+
+
+def keyword_cover_roots(
+    graph: Graph, keywords: Iterable[str], radius: int
+) -> dict[VertexId, float]:
+    """Sequential oracle: root vertex -> total distance, all keywords."""
+    keywords = list(keywords)
+    per_keyword: list[dict[VertexId, float]] = []
+    for k in keywords:
+        updates, _ = keyword_distances(graph, k, radius)
+        per_keyword.append(updates)
+    roots: dict[VertexId, float] = {}
+    for v in graph.vertices():
+        dists = [d.get(v, UNREACHED) for d in per_keyword]
+        if all(x <= radius for x in dists):
+            roots[v] = sum(dists)
+    return roots

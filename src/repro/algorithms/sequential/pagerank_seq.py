@@ -1,0 +1,45 @@
+"""PageRank by power iteration (sequential oracle + extension program)."""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.graph.digraph import Graph
+
+VertexId = Hashable
+
+
+def pagerank(
+    graph: Graph,
+    damping: float = 0.85,
+    tol: float = 1e-8,
+    max_iter: int = 200,
+) -> dict[VertexId, float]:
+    """Standard PageRank; dangling mass is redistributed uniformly.
+
+    Ranks are normalized to sum to 1.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return {}
+    rank = {v: 1.0 / n for v in graph.vertices()}
+    for _ in range(max_iter):
+        nxt = {v: (1.0 - damping) / n for v in graph.vertices()}
+        dangling = 0.0
+        for v in graph.vertices():
+            deg = graph.out_degree(v)
+            if deg == 0:
+                dangling += rank[v]
+                continue
+            share = damping * rank[v] / deg
+            for u in graph.out_neighbors(v):
+                nxt[u] += share
+        if dangling:
+            spread = damping * dangling / n
+            for v in nxt:
+                nxt[v] += spread
+        delta = sum(abs(nxt[v] - rank[v]) for v in nxt)
+        rank = nxt
+        if delta < tol:
+            break
+    return rank

@@ -1,0 +1,146 @@
+"""Graph pattern matching via (graph) simulation.
+
+A data vertex ``v`` *simulates* a pattern vertex ``u`` when their labels
+match and, for every pattern edge ``u -> u'``, some out-neighbor of
+``v`` simulates ``u'``. ``graph_simulation`` computes the maximum
+simulation relation by iterated refinement from the label-based initial
+candidates — the standard O(|V||E|) sequential algorithm.
+
+``refine_simulation`` is the fragment-aware variant PEval/IncEval use:
+candidate sets of *assumed* vertices (mirrors owned elsewhere) are fixed
+inputs rather than being refined locally, because their out-edges are
+not visible in this fragment.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+from repro.graph.digraph import Graph
+
+VertexId = Hashable
+CandidateMap = dict[VertexId, frozenset]
+
+
+def initial_candidates(
+    graph: Graph, pattern: Graph, vertices: Iterable[VertexId] | None = None
+) -> CandidateMap:
+    """Label-based optimistic candidates: u ∈ cand(v) iff labels agree.
+
+    A pattern vertex with label None is a wildcard and starts compatible
+    with every data vertex (the same convention VF2 uses).
+    """
+    wildcards = frozenset(
+        u for u in pattern.vertices() if pattern.vertex_label(u) is None
+    )
+    by_label: dict[str | None, frozenset] = {}
+    for u in pattern.vertices():
+        label = pattern.vertex_label(u)
+        if label is not None:
+            by_label[label] = by_label.get(label, frozenset()) | {u}
+    for label in by_label:
+        by_label[label] |= wildcards
+    out: CandidateMap = {}
+    universe = graph.vertices() if vertices is None else vertices
+    for v in universe:
+        out[v] = by_label.get(graph.vertex_label(v), wildcards)
+    return out
+
+
+def refine_simulation(
+    graph: Graph,
+    pattern: Graph,
+    candidates: CandidateMap,
+    frozen: Mapping[VertexId, frozenset] | None = None,
+    dirty: Iterable[VertexId] | None = None,
+) -> tuple[CandidateMap, int]:
+    """Refine candidate sets to the local maximum simulation.
+
+    Args:
+        graph: data (fragment) graph.
+        pattern: pattern graph (labels on vertices).
+        candidates: current candidate sets, mutated toward the fixpoint.
+        frozen: vertices whose sets are external truths (mirrors) — read
+            but never shrunk here.
+        dirty: vertices whose sets just changed (seeds the worklist);
+            None means refine everything.
+
+    Returns:
+        (candidates, refinement steps executed). A pattern vertex ``u``
+        stays in ``cand(v)`` only if every pattern edge ``u -> u'`` is
+        witnessed by some out-neighbor ``w`` of ``v`` with
+        ``u' ∈ cand(w)``.
+    """
+    frozen = frozen or {}
+    worklist: set[VertexId] = set()
+    if dirty is None:
+        worklist.update(v for v in candidates if v not in frozen)
+    else:
+        # A change at w can only invalidate in-neighbors of w.
+        for w in dirty:
+            if w in graph:
+                worklist.update(
+                    p for p in graph.in_neighbors(w) if p in candidates
+                )
+            if w in candidates and w not in frozen:
+                worklist.add(w)
+    steps = 0
+    while worklist:
+        v = worklist.pop()
+        if v in frozen or v not in candidates:
+            continue
+        steps += 1
+        current = candidates[v]
+        if not current:
+            continue
+        survivors = set()
+        out_nbrs = graph.out_neighbors(v) if v in graph else []
+        for u in current:
+            ok = True
+            for u_child in pattern.out_neighbors(u):
+                witnessed = any(
+                    u_child in _cand_of(w, candidates, frozen)
+                    for w in out_nbrs
+                )
+                if not witnessed:
+                    ok = False
+                    break
+            if ok:
+                survivors.add(u)
+        if len(survivors) != len(current):
+            candidates[v] = frozenset(survivors)
+            if v in graph:
+                worklist.update(
+                    p for p in graph.in_neighbors(v) if p in candidates
+                )
+    return candidates, steps
+
+
+def _cand_of(
+    v: VertexId,
+    candidates: CandidateMap,
+    frozen: Mapping[VertexId, frozenset],
+) -> frozenset:
+    if v in frozen:
+        return frozen[v]
+    return candidates.get(v, frozenset())
+
+
+def graph_simulation(
+    graph: Graph, pattern: Graph
+) -> dict[VertexId, set[VertexId]]:
+    """Maximum simulation of ``pattern`` in ``graph`` (sequential oracle).
+
+    Returns pattern vertex -> set of simulating data vertices. Empty sets
+    mean the pattern does not match at that vertex; a pattern matches the
+    graph when every pattern vertex has a non-empty set.
+    """
+    candidates = initial_candidates(graph, pattern)
+    refine_simulation(graph, pattern, candidates)
+    result: dict[VertexId, set[VertexId]] = {
+        u: set() for u in pattern.vertices()
+    }
+    for v, cands in candidates.items():
+        for u in cands:
+            result[u].add(v)
+    return result

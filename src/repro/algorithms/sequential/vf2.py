@@ -1,0 +1,189 @@
+"""Subgraph isomorphism enumeration (VF2-style backtracking).
+
+Finds every injective mapping of a small pattern graph into a data graph
+that preserves vertex labels, edge presence/direction and (optionally)
+edge labels. Candidate ordering and pruning follow VF2's connectivity
+heuristic: the next pattern vertex is one adjacent to the partial match,
+and its candidates are enumerated from the already-matched neighborhood
+rather than the whole graph, which keeps the search local.
+
+Used sequentially as PEval for SubIso and by the GPAR matcher.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterator
+
+from repro.graph.digraph import Graph
+
+VertexId = Hashable
+Match = dict[VertexId, VertexId]
+
+
+def find_subgraph_isomorphisms(
+    pattern: Graph,
+    graph: Graph,
+    max_matches: int | None = None,
+    anchor: tuple[VertexId, VertexId] | None = None,
+    node_filter: Callable[[VertexId, VertexId], bool] | None = None,
+    match_edge_labels: bool = True,
+) -> list[Match]:
+    """Enumerate subgraph-isomorphic embeddings of ``pattern`` in ``graph``.
+
+    Args:
+        pattern: pattern graph; vertex labels None act as wildcards.
+        graph: data graph.
+        max_matches: stop after this many embeddings (None = all).
+        anchor: optional (pattern vertex, data vertex) pair to pin — used
+            by the GPAR matcher to test one candidate customer.
+        node_filter: extra predicate ``(pattern_v, data_v) -> bool``.
+        match_edge_labels: require edge labels to agree when the pattern
+            edge carries one (None = wildcard).
+
+    Returns:
+        List of ``{pattern vertex: data vertex}`` embeddings.
+    """
+    out: list[Match] = []
+    for _ in iter_subgraph_isomorphisms(
+        pattern,
+        graph,
+        collector=out,
+        max_matches=max_matches,
+        anchor=anchor,
+        node_filter=node_filter,
+        match_edge_labels=match_edge_labels,
+    ):
+        pass
+    return out
+
+
+def iter_subgraph_isomorphisms(
+    pattern: Graph,
+    graph: Graph,
+    collector: list[Match] | None = None,
+    max_matches: int | None = None,
+    anchor: tuple[VertexId, VertexId] | None = None,
+    node_filter: Callable[[VertexId, VertexId], bool] | None = None,
+    match_edge_labels: bool = True,
+) -> Iterator[Match]:
+    """Generator form of :func:`find_subgraph_isomorphisms`."""
+    order = _matching_order(pattern, anchor[0] if anchor else None)
+    if not order:
+        return
+    state: Match = {}
+    used: set[VertexId] = set()
+
+    def compatible(pv: VertexId, gv: VertexId) -> bool:
+        plabel = pattern.vertex_label(pv)
+        if plabel is not None and graph.vertex_label(gv) != plabel:
+            return False
+        if node_filter is not None and not node_filter(pv, gv):
+            return False
+        if graph.out_degree(gv) < pattern.out_degree(pv):
+            return False
+        if graph.in_degree(gv) < pattern.in_degree(pv):
+            return False
+        # Every already-matched pattern neighbor must be consistent.
+        for pchild in pattern.out_neighbors(pv):
+            if pchild in state:
+                if not graph.has_edge(gv, state[pchild]):
+                    return False
+                if match_edge_labels and not _edge_label_ok(
+                    pattern, graph, pv, pchild, gv, state[pchild]
+                ):
+                    return False
+        for pparent in pattern.in_neighbors(pv):
+            if pparent in state:
+                if not graph.has_edge(state[pparent], gv):
+                    return False
+                if match_edge_labels and not _edge_label_ok(
+                    pattern, graph, pparent, pv, state[pparent], gv
+                ):
+                    return False
+        return True
+
+    def candidates(pv: VertexId) -> Iterator[VertexId]:
+        if anchor is not None and pv == anchor[0]:
+            yield anchor[1]
+            return
+        # Prefer expanding from matched neighbors (VF2 locality).
+        for pchild in pattern.out_neighbors(pv):
+            if pchild in state:
+                yield from graph.in_neighbors(state[pchild])
+                return
+        for pparent in pattern.in_neighbors(pv):
+            if pparent in state:
+                yield from graph.out_neighbors(state[pparent])
+                return
+        yield from graph.vertices()
+
+    found = 0
+
+    def backtrack(depth: int) -> Iterator[Match]:
+        nonlocal found
+        if max_matches is not None and found >= max_matches:
+            return
+        if depth == len(order):
+            found += 1
+            match = dict(state)
+            if collector is not None:
+                collector.append(match)
+            yield match
+            return
+        pv = order[depth]
+        seen: set[VertexId] = set()
+        for gv in candidates(pv):
+            if gv in used or gv in seen:
+                continue
+            seen.add(gv)
+            if not compatible(pv, gv):
+                continue
+            state[pv] = gv
+            used.add(gv)
+            yield from backtrack(depth + 1)
+            del state[pv]
+            used.discard(gv)
+            if max_matches is not None and found >= max_matches:
+                return
+
+    yield from backtrack(0)
+
+
+def _edge_label_ok(
+    pattern: Graph,
+    graph: Graph,
+    p_src: VertexId,
+    p_dst: VertexId,
+    g_src: VertexId,
+    g_dst: VertexId,
+) -> bool:
+    wanted = pattern.edge_label(p_src, p_dst)
+    if wanted is None:
+        return True
+    return graph.edge_label(g_src, g_dst) == wanted
+
+
+def _matching_order(
+    pattern: Graph, start: VertexId | None
+) -> list[VertexId]:
+    """Connectivity-first ordering: each vertex adjacent to a prior one."""
+    vertices = list(pattern.vertices())
+    if not vertices:
+        return []
+    if start is None:
+        start = max(vertices, key=lambda v: pattern.degree(v))
+    order = [start]
+    placed = {start}
+    while len(order) < len(vertices):
+        frontier = [
+            v
+            for v in vertices
+            if v not in placed
+            and any(u in placed for u in pattern.neighbors(v))
+        ]
+        if not frontier:  # disconnected pattern: start a new component
+            frontier = [v for v in vertices if v not in placed]
+        nxt = max(frontier, key=lambda v: pattern.degree(v))
+        order.append(nxt)
+        placed.add(nxt)
+    return order

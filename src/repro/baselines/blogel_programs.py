@@ -1,0 +1,91 @@
+"""Block-centric algorithm recasts for the Blogel-style engine."""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.algorithms.sequential.dijkstra import dijkstra
+from repro.baselines.blogel import BlockContext, BlockProgram
+
+VertexId = Hashable
+INF = float("inf")
+
+
+class BlogelSSSP(BlockProgram):
+    """Blogel's SSSP: Dijkstra inside the block, messages across blocks.
+
+    Per superstep a block seeds Dijkstra with its improved vertices,
+    settles distances within the block, and sends per-vertex distance
+    offers along the block's outgoing cross-block edges.
+    """
+
+    name = "sssp"
+
+    def __init__(self, source: VertexId) -> None:
+        self.source = source
+
+    def initial_value(self, vertex: VertexId) -> float:
+        return INF
+
+    def block_compute(
+        self,
+        ctx: BlockContext,
+        messages: dict[VertexId, list[object]],
+        superstep: int,
+    ) -> bool:
+        seeds: dict[VertexId, float] = {}
+        if superstep == 0 and self.source in ctx.block.vertices:
+            seeds[self.source] = 0.0
+        for v, offers in messages.items():
+            best = min(offers)
+            if best < ctx.values.get(v, INF):
+                seeds[v] = best
+        if not seeds:
+            return False
+        known = {
+            v: ctx.values.get(v, INF)
+            for v in ctx.block.vertices
+        }
+        updates, _ = dijkstra(ctx.block.graph, seeds, known=known)
+        for v, d in updates.items():
+            if v in ctx.block.vertices:
+                ctx.values[v] = d
+                # Offer improved distances across block boundaries.
+                for edge in ctx.block.graph.out_edges(v):
+                    if edge.dst not in ctx.block.vertices:
+                        ctx.send(edge.dst, d + edge.weight)
+        return False  # reactivated only by messages
+
+
+class BlogelWCC(BlockProgram):
+    """Blogel's CC: whole blocks adopt the minimum label they can see."""
+
+    name = "cc"
+
+    def initial_value(self, vertex: VertexId) -> VertexId:
+        return vertex
+
+    def block_compute(
+        self,
+        ctx: BlockContext,
+        messages: dict[VertexId, list[object]],
+        superstep: int,
+    ) -> bool:
+        members = ctx.block.vertices
+        if superstep == 0:
+            current = min(members)
+        else:
+            current = min(ctx.values[v] for v in members)
+        best = current
+        for offers in messages.values():
+            candidate = min(offers)
+            if candidate < best:
+                best = candidate
+        if superstep == 0 or best < current:
+            for v in members:
+                ctx.values[v] = best
+            for v in members:
+                for edge in ctx.block.graph.out_edges(v):
+                    if edge.dst not in members:
+                        ctx.send(edge.dst, best)
+        return False

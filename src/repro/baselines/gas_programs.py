@@ -1,0 +1,117 @@
+"""GAS algorithm recasts for the GraphLab-style engine."""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.baselines.gas import GASProgram
+
+VertexId = Hashable
+INF = float("inf")
+
+
+class GASSSSP(GASProgram):
+    """Pull-based SSSP: dist(v) = min over in-edges of dist(u) + w."""
+
+    name = "sssp"
+
+    def __init__(self, source: VertexId) -> None:
+        self.source = source
+
+    def initial_value(self, vertex: VertexId) -> float:
+        return INF
+
+    def gather(
+        self, vertex: VertexId, src_value: object, edge_weight: float
+    ) -> float:
+        if src_value is None or src_value == INF:
+            return INF
+        return src_value + edge_weight  # type: ignore[operator]
+
+    def merge(self, a: object, b: object) -> float:
+        return min(a, b)  # type: ignore[type-var]
+
+    def apply(
+        self, vertex: VertexId, value: object, accumulated: object | None
+    ) -> float:
+        best = value if accumulated is None else min(value, accumulated)  # type: ignore[type-var]
+        if vertex == self.source:
+            best = 0.0
+        return best  # type: ignore[return-value]
+
+
+class GASWCC(GASProgram):
+    """Pull-based min-label components (symmetric edge sets assumed)."""
+
+    name = "cc"
+
+    def initial_value(self, vertex: VertexId) -> VertexId:
+        return vertex
+
+    def gather(
+        self, vertex: VertexId, src_value: object, edge_weight: float
+    ) -> object:
+        return src_value
+
+    def merge(self, a: object, b: object) -> object:
+        return min(a, b)  # type: ignore[type-var]
+
+    def apply(
+        self, vertex: VertexId, value: object, accumulated: object | None
+    ) -> object:
+        if accumulated is None:
+            return value
+        return min(value, accumulated)  # type: ignore[type-var]
+
+
+class GASPageRank(GASProgram):
+    """Tolerance-driven PageRank (PowerGraph's flagship example).
+
+    Gather needs the out-degree of the *source*; values are therefore
+    (rank, out_degree) pairs so replicas carry the degree along.
+    """
+
+    name = "pagerank"
+
+    def __init__(
+        self,
+        num_vertices: int,
+        out_degree: dict[VertexId, int],
+        damping: float = 0.85,
+        tolerance: float = 1e-4,
+    ) -> None:
+        self.num_vertices = num_vertices
+        self.out_degree = out_degree
+        self.damping = damping
+        self.tolerance = tolerance
+
+    def initial_value(self, vertex: VertexId) -> tuple[float, int]:
+        return (1.0 / self.num_vertices, self.out_degree.get(vertex, 0))
+
+    def gather(
+        self, vertex: VertexId, src_value: object, edge_weight: float
+    ) -> float:
+        if src_value is None:
+            return 0.0
+        rank, degree = src_value  # type: ignore[misc]
+        return rank / degree if degree else 0.0
+
+    def merge(self, a: object, b: object) -> float:
+        return a + b  # type: ignore[operator]
+
+    def apply(
+        self, vertex: VertexId, value: object, accumulated: object | None
+    ) -> tuple[float, int]:
+        _, degree = value  # type: ignore[misc]
+        incoming = accumulated or 0.0
+        rank = (
+            (1.0 - self.damping) / self.num_vertices
+            + self.damping * incoming
+        )
+        return (rank, degree)
+
+    def should_scatter(self, old: object, new: object) -> bool:
+        return abs(new[0] - old[0]) > self.tolerance  # type: ignore[index]
+
+    def converged(self, old: object, new: object) -> bool:
+        return abs(new[0] - old[0]) <= self.tolerance  # type: ignore[index]

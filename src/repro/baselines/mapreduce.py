@@ -1,0 +1,164 @@
+"""MapReduce engine — the pre-Pregel way to process graphs.
+
+The Simulation Theorem names MapReduce alongside BSP and PRAM; before
+vertex-centric systems, iterated MapReduce *was* distributed graph
+processing (Pegasus, early Hadoop SSSP). This engine implements the
+model on the simulated cluster so the paper's implicit comparison is
+runnable: each round is map → shuffle → reduce, the shuffle re-ships
+**the entire dataset** (state travels with the data — there is no
+resident worker state between rounds), and iterated jobs run rounds
+until a fixed point.
+
+That full-state shuffle is exactly why Table-1-class traversals are
+catastrophic on MapReduce and why Pregel, then GRAPE, keep state
+resident and ship only deltas — measured in
+``tests/baselines/test_mapreduce.py``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Sequence
+
+from repro.runtime.cluster import Cluster
+from repro.runtime.costmodel import CostModel
+from repro.runtime.metrics import RunMetrics
+from repro.utils.rng import stable_hash
+
+Key = Hashable
+Record = tuple[Key, object]
+
+
+class MapReduceJob(abc.ABC):
+    """One round's map and reduce functions (classic Hadoop contract)."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def map(self, key: Key, value: object) -> Iterable[Record]:
+        """Emit intermediate ``(key, value)`` pairs for one input record."""
+
+    @abc.abstractmethod
+    def reduce(self, key: Key, values: list) -> Iterable[Record]:
+        """Fold all intermediate values of ``key`` into output records."""
+
+    def converged(self, previous: dict, current: dict) -> bool:
+        """Whether an iterated job may stop (default: outputs repeat)."""
+        return previous == current
+
+
+@dataclass
+class MapReduceResult:
+    """Final key -> value output plus metering."""
+
+    output: dict
+    metrics: RunMetrics
+    rounds: int
+    records_shuffled: int = 0
+
+
+@dataclass
+class _MRWorker:
+    wid: int
+    records: list = field(default_factory=list)
+
+
+class MapReduceEngine:
+    """Iterated MapReduce over the simulated cluster.
+
+    Each round costs two supersteps: *map+shuffle* (mappers run, grouped
+    intermediate records ship to their reducer's worker by key hash) and
+    *reduce* (reducers fold and leave the output partitioned in place as
+    the next round's input).
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        cost_model: CostModel | None = None,
+        max_rounds: int = 10_000,
+    ) -> None:
+        self.num_workers = num_workers
+        self.cost_model = cost_model or CostModel()
+        self.max_rounds = max_rounds
+
+    def _home(self, key: Key) -> int:
+        return stable_hash(key) % self.num_workers
+
+    def run(
+        self,
+        job: MapReduceJob,
+        data: Sequence[Record] | dict,
+        iterate: bool = False,
+    ) -> MapReduceResult:
+        """Run ``job`` once, or (``iterate=True``) to its fixed point."""
+        cluster = Cluster(
+            self.num_workers,
+            self.cost_model,
+            engine_name=f"mapreduce[{job.name}]",
+        )
+        if isinstance(data, dict):
+            records: list[Record] = list(data.items())
+        else:
+            records = list(data)
+        workers = [_MRWorker(wid) for wid in range(self.num_workers)]
+        for key, value in records:
+            workers[self._home(key)].records.append((key, value))
+
+        previous: dict = {}
+        shuffled = 0
+        rounds = 0
+        while rounds < self.max_rounds:
+            rounds += 1
+            # ---- map + shuffle ----
+            with cluster.superstep("map+shuffle") as step:
+                for worker in workers:
+                    batches: dict[int, list[Record]] = {}
+                    with step.compute(worker.wid):
+                        for key, value in worker.records:
+                            for out_key, out_value in job.map(key, value):
+                                dst = self._home(out_key)
+                                batches.setdefault(dst, []).append(
+                                    (out_key, out_value)
+                                )
+                        worker.records = []
+                    for dst, batch in batches.items():
+                        shuffled += len(batch)
+                        step.send(worker.wid, dst, batch)
+            # ---- reduce ----
+            with cluster.superstep("reduce") as step:
+                for worker in workers:
+                    messages = cluster.receive(worker.wid)
+                    with step.compute(worker.wid):
+                        grouped: dict[Key, list] = {}
+                        for msg in messages:
+                            for key, value in msg.payload:
+                                grouped.setdefault(key, []).append(value)
+                        for key in grouped:
+                            for out in job.reduce(key, grouped[key]):
+                                worker.records.append(out)
+            current = {
+                key: value
+                for worker in workers
+                for key, value in worker.records
+            }
+            if not iterate:
+                return MapReduceResult(
+                    output=current,
+                    metrics=cluster.metrics,
+                    rounds=rounds,
+                    records_shuffled=shuffled,
+                )
+            if rounds > 1 and job.converged(previous, current):
+                return MapReduceResult(
+                    output=current,
+                    metrics=cluster.metrics,
+                    rounds=rounds,
+                    records_shuffled=shuffled,
+                )
+            previous = current
+        raise RuntimeError(
+            f"MapReduce job {job.name!r} did not converge within "
+            f"{self.max_rounds} rounds"
+        )

@@ -1,0 +1,110 @@
+"""Iterated-MapReduce graph algorithms (the pre-Pregel classics).
+
+Records carry the full vertex state — ``(vertex, (value, adjacency))`` —
+because MapReduce has no resident worker state: every round the whole
+graph travels through the shuffle. ``MRShortestPaths`` and
+``MRConnectedComponents`` are the textbook Hadoop formulations.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.baselines.mapreduce import MapReduceJob, Record
+from repro.graph.digraph import Graph
+
+VertexId = Hashable
+INF = float("inf")
+
+
+def graph_to_records(
+    graph: Graph, init_value
+) -> list[Record]:
+    """Encode a graph as MR records ``(v, (value(v), [(u, w), ...]))``."""
+    return [
+        (
+            v,
+            (
+                init_value(v),
+                tuple(
+                    (e.dst, e.weight) for e in graph.out_edges(v)
+                ),
+            ),
+        )
+        for v in graph.vertices()
+    ]
+
+
+class MRShortestPaths(MapReduceJob):
+    """Iterated MR SSSP: each round relaxes every edge of the graph.
+
+    map: re-emit the vertex record (state must survive the shuffle!) and
+    offer ``dist + w`` to every neighbor. reduce: keep the adjacency,
+    take the min of the current distance and all offers.
+    """
+
+    name = "mr-sssp"
+
+    def __init__(self, source: VertexId) -> None:
+        self.source = source
+
+    def map(self, key, value):
+        dist, adjacency = value
+        if key == self.source and dist > 0.0:
+            dist = 0.0
+        yield key, ("state", dist, adjacency)
+        if dist < INF:
+            for neighbor, weight in adjacency:
+                yield neighbor, ("offer", dist + weight)
+
+    def reduce(self, key, values):
+        dist = INF
+        adjacency = ()
+        for record in values:
+            if record[0] == "state":
+                _, d, adjacency = record
+                dist = min(dist, d)
+            else:
+                dist = min(dist, record[1])
+        yield key, (dist, adjacency)
+
+    def converged(self, previous, current):
+        return all(
+            previous.get(v, (INF,))[0] == state[0]
+            for v, state in current.items()
+        )
+
+
+class MRConnectedComponents(MapReduceJob):
+    """Iterated MR weakly-connected components by min-label flooding.
+
+    Assumes a symmetric edge set (as every bundled traversal generator
+    provides) since labels travel along stored edges only.
+    """
+
+    name = "mr-cc"
+
+    def map(self, key, value):
+        label, adjacency = value
+        label = min(label, key)
+        yield key, ("state", label, adjacency)
+        for neighbor, _ in adjacency:
+            yield neighbor, ("offer", label)
+
+    def reduce(self, key, values):
+        label = key
+        adjacency = ()
+        for record in values:
+            if record[0] == "state":
+                _, lab, adjacency = record
+            else:
+                lab = record[1]
+            if lab < label:
+                label = lab
+        yield key, (label, adjacency)
+
+    def converged(self, previous, current):
+        return all(
+            previous.get(v, (v,))[0] == state[0]
+            for v, state in current.items()
+        )

@@ -1,0 +1,41 @@
+"""The paper's primary contribution: the PIE model and the GRAPE engine.
+
+A :class:`~repro.core.pie.PIEProgram` packages three *sequential*
+algorithms — PEval, IncEval, Assemble — plus the only two additions the
+paper requires: a declaration of update parameters and an aggregate
+function over a partial order. :class:`~repro.core.engine.GrapeEngine`
+runs the simultaneous fixed point of Section 2.2 on a fragmented graph
+over the simulated cluster, and
+:mod:`~repro.core.assurance` verifies the Assurance Theorem's monotonicity
+precondition at runtime.
+"""
+
+from repro.core.aggregators import (
+    Aggregator,
+    BOOL_OR,
+    MAX,
+    MIN,
+    SET_INTERSECT,
+    SET_UNION,
+    SUM_ONCE,
+)
+from repro.core.engine import GrapeEngine, GrapeResult
+from repro.core.partial_order import PartialOrder
+from repro.core.pie import ParamSpec, PIEProgram
+from repro.core.update_params import UpdateParams
+
+__all__ = [
+    "Aggregator",
+    "BOOL_OR",
+    "MAX",
+    "MIN",
+    "SET_INTERSECT",
+    "SET_UNION",
+    "SUM_ONCE",
+    "GrapeEngine",
+    "GrapeResult",
+    "PartialOrder",
+    "ParamSpec",
+    "PIEProgram",
+    "UpdateParams",
+]

@@ -1,0 +1,453 @@
+"""GrapeEngine: the simultaneous fixed-point computation of Section 2.2.
+
+Workflow (Fig. 1):
+
+1. **PEval** — superstep 0: every worker runs the program's PEval on its
+   fragment; changed update parameters are sent to the coordinator.
+2. **IncEval** — repeated supersteps: the coordinator aggregates incoming
+   candidate values per vertex (using the declared aggregate function)
+   and routes them to every fragment hosting the vertex; workers whose
+   parameters actually changed run IncEval and ship new changes back.
+3. **Assemble** — when no parameter changes anywhere, the coordinator
+   pulls the partial answers and combines them.
+
+Two routing modes are provided: ``"coordinator"`` (the paper's workflow,
+messages travel via P0) and ``"direct"`` (an extension mirroring
+libgrape-lite, where workers exchange parameters peer-to-peer and the
+coordinator only detects termination).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generic, Hashable
+
+from repro.core.assurance import MonotonicityChecker
+from repro.core.pie import P, PIEProgram, Q, R
+from repro.core.termination import FixpointGuard
+from repro.core.update_params import UpdateParams
+from repro.errors import ProgramError
+from repro.graph.fragment import FragmentedGraph
+from repro.runtime.cluster import Cluster
+from repro.runtime.costmodel import CostModel
+from repro.runtime.message import COORDINATOR
+from repro.runtime.metrics import RunMetrics
+
+VertexId = Hashable
+
+
+@dataclass
+class RoundInfo:
+    """Per-IncEval-round trace entry (feeds the bounded-IncEval bench)."""
+
+    round_index: int
+    params_shipped: int
+    params_applied: int
+    active_workers: int
+
+
+@dataclass
+class GrapeResult(Generic[R]):
+    """Outcome of one GRAPE run: answer + metering + fixpoint trace."""
+
+    answer: R
+    metrics: RunMetrics
+    rounds: list[RoundInfo] = field(default_factory=list)
+    checker: MonotonicityChecker | None = None
+    #: set when run(..., keep_state=True): resumable fixpoint state for
+    #: run_incremental after graph updates.
+    state: object | None = None
+
+    @property
+    def num_supersteps(self) -> int:
+        """Number of BSP supersteps executed."""
+        return self.metrics.num_supersteps
+
+    @property
+    def total_time(self) -> float:
+        """Total simulated wall-clock time in seconds."""
+        return self.metrics.total_time
+
+
+class GrapeEngine:
+    """Runs PIE programs over a fragmented graph on the simulated cluster.
+
+    Args:
+        fragmented: the partitioned graph (one fragment per worker).
+        cost_model: simulated-cluster performance parameters.
+        check_monotonic: verify every parameter write against the
+            aggregator's partial order (strict: raise on violation).
+        max_supersteps: fixed-point cap for non-monotonic programs.
+        routing: ``"coordinator"`` (paper default) or ``"direct"``.
+    """
+
+    def __init__(
+        self,
+        fragmented: FragmentedGraph,
+        cost_model: CostModel | None = None,
+        check_monotonic: bool = False,
+        strict_monotonic: bool = True,
+        max_supersteps: int = 10_000,
+        routing: str = "coordinator",
+    ) -> None:
+        if routing not in ("coordinator", "direct"):
+            raise ProgramError(f"unknown routing mode {routing!r}")
+        self.fragmented = fragmented
+        self.cost_model = cost_model or CostModel()
+        self.check_monotonic = check_monotonic
+        self.strict_monotonic = strict_monotonic
+        self.max_supersteps = max_supersteps
+        self.routing = routing
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        program: PIEProgram[Q, P, R],
+        query: Q,
+        keep_state: bool = False,
+        checkpoint=None,
+    ) -> GrapeResult[R]:
+        """Compute ``Q(G)`` = Assemble(fixpoint(PEval, IncEval)).
+
+        With ``keep_state=True`` the result carries the per-fragment
+        partial answers and parameter stores so the fixed point can be
+        resumed after edge insertions via :meth:`run_incremental`.
+        With a :class:`~repro.core.checkpoint.CheckpointPolicy` the
+        engine snapshots its state every ``policy.every`` IncEval rounds
+        (see :meth:`resume_from_checkpoint`).
+        """
+        cluster = Cluster(
+            self.fragmented.num_fragments,
+            self.cost_model,
+            engine_name=f"grape[{program.name}]",
+        )
+        n = cluster.num_workers
+        spec = program.param_spec(query)
+        checker: MonotonicityChecker | None = None
+        if self.check_monotonic:
+            checker = MonotonicityChecker(
+                order=spec.aggregator.order, strict=self.strict_monotonic
+            )
+
+        params: list[UpdateParams] = []
+        for frag in self.fragmented.fragments:
+            observer = checker.observer(frag.fid) if checker else None
+            store = UpdateParams(spec.aggregator, spec.default, observer)
+            program.declare_params(frag, query, store)
+            params.append(store)
+
+        partials: list[P] = [None] * n  # type: ignore[list-item]
+        guard = FixpointGuard(max_supersteps=self.max_supersteps)
+        rounds: list[RoundInfo] = []
+
+        # ---------------- Superstep 0: PEval ----------------
+        with cluster.superstep("peval") as step:
+            for wid in range(n):
+                frag = self.fragmented.fragments[wid]
+                with step.compute(wid):
+                    partials[wid] = program.peval(frag, query, params[wid])
+                    changes = params[wid].consume_changes()
+                if changes:
+                    self._emit(step, wid, changes)
+
+        # ---------------- IncEval rounds ----------------
+        while True:
+            if not self._pending(cluster) and not self._any_active(
+                program, partials
+            ):
+                break
+            with cluster.superstep("inceval") as step:
+                shipped, applied, active = self._inceval_round(
+                    cluster, step, program, query, params, partials
+                )
+            guard.record_round(shipped)
+            rounds.append(
+                RoundInfo(
+                    round_index=guard.rounds,
+                    params_shipped=shipped,
+                    params_applied=applied,
+                    active_workers=active,
+                )
+            )
+            if checkpoint is not None and guard.rounds % checkpoint.every == 0:
+                from repro.core.incremental import EngineState
+
+                checkpoint.save(
+                    guard.rounds, EngineState(partials=partials, params=params)
+                )
+
+        # ---------------- Assemble ----------------
+        with cluster.superstep("assemble") as step:
+            with step.compute(COORDINATOR):
+                answer = program.assemble(query, partials)
+
+        state = None
+        if keep_state:
+            from repro.core.incremental import EngineState
+
+            state = EngineState(partials=partials, params=params)
+        return GrapeResult(
+            answer=answer,
+            metrics=cluster.metrics,
+            rounds=rounds,
+            checker=checker,
+            state=state,
+        )
+
+    # ------------------------------------------------------------------
+    def run_incremental(
+        self,
+        program: PIEProgram[Q, P, R],
+        query: Q,
+        state,
+        insertions,
+    ) -> GrapeResult[R]:
+        """Resume a fixed point after edge insertions (ΔG).
+
+        ``state`` is the :class:`~repro.core.incremental.EngineState`
+        from a prior ``run(..., keep_state=True)`` of the *same* program
+        and query over *this* engine's fragmentation. The fragments are
+        mutated in place to contain the new edges; each touched fragment
+        repairs its partial answer through ``program.on_graph_update``;
+        the ordinary IncEval fixpoint and Assemble follow. Monotone-safe
+        for insertions only (see :mod:`repro.core.incremental`).
+        """
+        from repro.core.incremental import apply_insertions
+
+        cluster = Cluster(
+            self.fragmented.num_fragments,
+            self.cost_model,
+            engine_name=f"grape-inc[{program.name}]",
+        )
+        n = cluster.num_workers
+        partials = state.partials
+        params = state.params
+        guard = FixpointGuard(max_supersteps=self.max_supersteps)
+        rounds: list[RoundInfo] = []
+
+        touched = apply_insertions(self.fragmented, insertions)
+
+        # Insertions can create fresh border vertices; their update
+        # parameters are declared with the spec default before programs
+        # touch them.
+        for wid in range(n):
+            frag = self.fragmented.fragments[wid]
+            fresh = frag.border - params[wid].declared
+            if fresh:
+                params[wid].declare(fresh)
+
+        with cluster.superstep("update") as step:
+            for wid, local_insertions in touched.items():
+                frag = self.fragmented.fragments[wid]
+                with step.compute(wid):
+                    partials[wid] = program.on_graph_update(
+                        frag, query, partials[wid], params[wid],
+                        local_insertions,
+                    )
+                    changes = params[wid].consume_changes()
+                if changes:
+                    self._emit(step, wid, changes)
+
+        while True:
+            if not self._pending(cluster) and not self._any_active(
+                program, partials
+            ):
+                break
+            with cluster.superstep("inceval") as step:
+                shipped, applied, active = self._inceval_round(
+                    cluster, step, program, query, params, partials
+                )
+            guard.record_round(shipped)
+            rounds.append(
+                RoundInfo(
+                    round_index=guard.rounds,
+                    params_shipped=shipped,
+                    params_applied=applied,
+                    active_workers=active,
+                )
+            )
+
+        with cluster.superstep("assemble") as step:
+            with step.compute(COORDINATOR):
+                answer = program.assemble(query, partials)
+
+        from repro.core.incremental import EngineState
+
+        return GrapeResult(
+            answer=answer,
+            metrics=cluster.metrics,
+            rounds=rounds,
+            checker=None,
+            state=EngineState(partials=partials, params=params),
+        )
+
+    # ------------------------------------------------------------------
+    def resume_from_checkpoint(
+        self,
+        program: PIEProgram[Q, P, R],
+        query: Q,
+        checkpoint,
+    ) -> GrapeResult[R]:
+        """Recover a crashed fixed point from its newest DFS snapshot.
+
+        Recovery for monotone programs is re-ship-and-reconverge: every
+        worker re-sends the *current* value of every declared border
+        variable (idempotent under the aggregate function), replacing
+        whatever messages were in flight when the run died; the ordinary
+        IncEval fixpoint then finishes the remaining rounds. The cost of
+        the crash is bounded by ``policy.every`` rounds of lost work.
+        """
+        _, state = checkpoint.load_latest()
+        partials = state.partials
+        params = state.params
+        cluster = Cluster(
+            self.fragmented.num_fragments,
+            self.cost_model,
+            engine_name=f"grape-recover[{program.name}]",
+        )
+        n = cluster.num_workers
+        guard = FixpointGuard(max_supersteps=self.max_supersteps)
+        rounds: list[RoundInfo] = []
+
+        with cluster.superstep("recover") as step:
+            for wid in range(n):
+                with step.compute(wid):
+                    for v in params[wid].declared:
+                        if params[wid].get(v) != params[wid].default:
+                            params[wid].touch(v)
+                    changes = params[wid].consume_changes()
+                if changes:
+                    self._emit(step, wid, changes)
+
+        while True:
+            if not self._pending(cluster) and not self._any_active(
+                program, partials
+            ):
+                break
+            with cluster.superstep("inceval") as step:
+                shipped, applied, active = self._inceval_round(
+                    cluster, step, program, query, params, partials
+                )
+            guard.record_round(shipped)
+            rounds.append(
+                RoundInfo(
+                    round_index=guard.rounds,
+                    params_shipped=shipped,
+                    params_applied=applied,
+                    active_workers=active,
+                )
+            )
+
+        with cluster.superstep("assemble") as step:
+            with step.compute(COORDINATOR):
+                answer = program.assemble(query, partials)
+
+        from repro.core.incremental import EngineState
+
+        return GrapeResult(
+            answer=answer,
+            metrics=cluster.metrics,
+            rounds=rounds,
+            checker=None,
+            state=EngineState(partials=partials, params=params),
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _emit(self, step, wid: int, changes: dict[VertexId, object]) -> None:
+        """Send changed parameters toward their consumers."""
+        if self.routing == "coordinator":
+            step.send(wid, COORDINATOR, changes)
+            return
+        # Direct mode: split the change set by destination fragment.
+        by_dst: dict[int, dict[VertexId, object]] = {}
+        for v, value in changes.items():
+            for fid in self.fragmented.hosts(v):
+                if fid != wid:
+                    by_dst.setdefault(fid, {})[v] = value
+        for fid, batch in by_dst.items():
+            step.send(wid, fid, batch)
+        # Tiny control message so the coordinator can detect activity.
+        step.send(wid, COORDINATOR, {"__active__": len(changes)})
+
+    def _pending(self, cluster: Cluster) -> bool:
+        """Any undelivered worker changes? (coordinator's inactivity test)"""
+        return bool(cluster.mpi.peek(COORDINATOR)) or cluster.mpi.pending()
+
+    def _any_active(self, program, partials) -> bool:
+        """Any worker still busy with purely local computation?"""
+        return any(
+            program.is_active(frag, partials[frag.fid])
+            for frag in self.fragmented.fragments
+        )
+
+    def _inceval_round(
+        self,
+        cluster: Cluster,
+        step,
+        program: PIEProgram[Q, P, R],
+        query: Q,
+        params: list[UpdateParams],
+        partials: list[P],
+    ) -> tuple[int, int, int]:
+        """One superstep: route messages, run IncEval, ship new changes.
+
+        Returns (params shipped by workers this round, params applied,
+        active worker count).
+        """
+        n = cluster.num_workers
+        aggregator = program.param_spec(query).aggregator
+
+        if self.routing == "coordinator":
+            # (a) P0 aggregates per vertex and routes to hosting fragments.
+            with step.compute(COORDINATOR):
+                inbox = cluster.receive(COORDINATOR)
+                merged: dict[VertexId, object] = {}
+                proposals: dict[VertexId, dict[int, object]] = {}
+                for msg in inbox:
+                    for v, value in msg.payload.items():
+                        if v in merged:
+                            merged[v] = aggregator.resolve(merged[v], value)
+                        else:
+                            merged[v] = value
+                        proposals.setdefault(v, {})[msg.src] = value
+                by_dst: dict[int, dict[VertexId, object]] = {}
+                for v, value in merged.items():
+                    for fid in self.fragmented.hosts(v):
+                        if proposals[v].get(fid) == value:
+                            continue  # that worker proposed it: no news
+                        by_dst.setdefault(fid, {})[v] = value
+                for fid, batch in by_dst.items():
+                    step.send(COORDINATOR, fid, batch)
+            step.deliver()
+        else:
+            cluster.receive(COORDINATOR)  # drain control messages
+
+        # (b) workers apply M_i and run IncEval.
+        shipped = 0
+        applied = 0
+        active = 0
+        for wid in range(n):
+            frag = self.fragmented.fragments[wid]
+            messages = cluster.receive(wid)
+            locally_active = program.is_active(frag, partials[wid])
+            if not messages and not locally_active:
+                continue
+            with step.compute(wid):
+                changed: set[VertexId] = set()
+                for msg in messages:
+                    for v, value in msg.payload.items():
+                        if params[wid].apply_remote(v, value):
+                            changed.add(v)
+                applied += len(changed)
+                if changed or locally_active:
+                    active += 1
+                    partials[wid] = program.inceval(
+                        frag, query, partials[wid], params[wid], changed
+                    )
+                changes = params[wid].consume_changes()
+            if changes:
+                shipped += len(changes)
+                self._emit(step, wid, changes)
+        return shipped, applied, active

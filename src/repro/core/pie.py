@@ -1,0 +1,128 @@
+"""The PIE programming model: PEval, IncEval, Assemble.
+
+A :class:`PIEProgram` is the unit users register with GRAPE (the "plug"
+panel of Fig. 3). Subclasses provide three sequential algorithms plus a
+:class:`ParamSpec` declaring the update parameters and their aggregate
+function — the paper's "only changes to the sequential algorithms".
+
+Contract (mirrors Section 2.2):
+
+* ``param_spec()`` — the declaration inherited by IncEval from PEval.
+* ``peval(fragment, query, params)`` — any sequential algorithm for the
+  query class, run against the local fragment; reads/writes border
+  variables through ``params``; returns the partial answer ``Q(F_i)``.
+* ``inceval(fragment, query, partial, params, changed)`` — any sequential
+  *incremental* algorithm; ``changed`` is the set of border vertices
+  whose parameter value was just updated by incoming messages (``M_i``);
+  returns the updated partial answer.
+* ``assemble(query, partials)`` — combines partial answers into
+  ``Q(G)``; "typically simple".
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Generic, Hashable, Sequence, TypeVar
+
+from repro.core.aggregators import Aggregator
+from repro.core.update_params import UpdateParams
+from repro.graph.fragment import Fragment
+
+VertexId = Hashable
+Q = TypeVar("Q")  # query type
+P = TypeVar("P")  # partial-answer type
+R = TypeVar("R")  # assembled result type
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """Declaration of a program's update parameters.
+
+    Attributes:
+        aggregator: conflict resolution + partial order (e.g. ``MIN``).
+        default: initial value of every border variable (e.g. ∞).
+    """
+
+    aggregator: Aggregator
+    default: object
+
+
+class PIEProgram(abc.ABC, Generic[Q, P, R]):
+    """Three sequential algorithms + declarations for one query class."""
+
+    #: Registry name of the query class (e.g. ``"sssp"``).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def param_spec(self, query: Q) -> ParamSpec:
+        """Declare the update parameters' aggregator and default value."""
+
+    def declare_params(
+        self, fragment: Fragment, query: Q, params: UpdateParams
+    ) -> None:
+        """Declare which vertices carry update parameters.
+
+        Default: every border vertex of the fragment (``F_i.I ∪ F_i.O``),
+        which suits most traversal-style programs; override to narrow or
+        extend (e.g. CF declares parameters on shared items only).
+        """
+        params.declare(fragment.border)
+
+    @abc.abstractmethod
+    def peval(self, fragment: Fragment, query: Q, params: UpdateParams) -> P:
+        """Sequential partial evaluation on the local fragment."""
+
+    @abc.abstractmethod
+    def inceval(
+        self,
+        fragment: Fragment,
+        query: Q,
+        partial: P,
+        params: UpdateParams,
+        changed: set[VertexId],
+    ) -> P:
+        """Sequential incremental evaluation treating ``changed`` as M_i."""
+
+    @abc.abstractmethod
+    def assemble(self, query: Q, partials: Sequence[P]) -> R:
+        """Combine the workers' partial answers into ``Q(G)``."""
+
+    def is_active(self, fragment: Fragment, partial: P) -> bool:
+        """Whether the worker is still busy with *local* computation.
+
+        The paper's termination condition is "P_i is inactive, i.e. P_i
+        is done with its local computation, AND there is no more change
+        to any update parameter". Most PIE programs finish their local
+        work inside each PEval/IncEval call, so the default is False
+        (only parameter changes keep the fixpoint going). Programs that
+        interleave local rounds with the global ones — e.g. the
+        vertex-centric simulation adapter, where a fragment can have
+        pending vertex-to-vertex messages that never cross its border —
+        override this; the engine then keeps calling IncEval (with an
+        empty change set) until both conditions hold everywhere.
+        """
+        return False
+
+    def on_graph_update(
+        self,
+        fragment: Fragment,
+        query: Q,
+        partial: P,
+        params: UpdateParams,
+        insertions: Sequence,
+    ) -> P:
+        """Repair the partial answer after local edge insertions (ΔG).
+
+        Optional hook used by ``GrapeEngine.run_incremental``: the
+        fragment's local graph already contains the new edges; the
+        program updates its partial answer and exports changed border
+        variables, exactly as IncEval would. Programs without incremental
+        graph-update support simply don't override this.
+        """
+        raise NotImplementedError(
+            f"{self.name} does not support incremental graph updates"
+        )
+
+    def __repr__(self) -> str:
+        return f"<PIEProgram {self.name}>"

@@ -1,0 +1,39 @@
+"""Fixed-point termination bookkeeping for the GRAPE engine.
+
+The coordinator terminates when every worker is inactive — done with
+local computation and with no remaining change to any update parameter
+(Section 2.2(3)). In the synchronous simulation a worker is trivially
+"done" at each barrier, so inactivity reduces to "no changed parameters
+were shipped this round". A superstep cap guards against non-monotonic
+programs that would never reach a fixed point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RuntimeErrorGrape
+
+
+@dataclass
+class FixpointGuard:
+    """Counts IncEval rounds and enforces the superstep cap."""
+
+    max_supersteps: int = 10_000
+    rounds: int = 0
+    change_history: list[int] = field(default_factory=list)
+
+    def record_round(self, changed_params: int) -> None:
+        """Record one IncEval round shipping ``changed_params`` variables."""
+        self.rounds += 1
+        self.change_history.append(changed_params)
+        if self.rounds > self.max_supersteps:
+            raise RuntimeErrorGrape(
+                f"no fixed point after {self.max_supersteps} supersteps; "
+                "is the plugged-in program monotonic?"
+            )
+
+    @property
+    def reached_fixpoint(self) -> bool:
+        """True once a round ships no changes at all."""
+        return bool(self.change_history) and self.change_history[-1] == 0

@@ -1,0 +1,188 @@
+"""Per-fragment update-parameter store with change tracking.
+
+Update parameters are "variables associated with border nodes" (Section
+2.2). A :class:`UpdateParams` instance lives on one worker, holds the
+current value of each declared variable, records which variables changed
+since the last message was emitted, and applies *remote* candidate values
+through the declared aggregate function.
+
+Messages are "automatically generated from update parameters": the engine
+simply calls :meth:`consume_changes` after PEval/IncEval and ships the
+result — user algorithms never construct messages, matching the paper's
+claim that declarations are the only addition to sequential code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Mapping
+
+from repro.core.aggregators import Aggregator
+from repro.errors import ProgramError
+
+VertexId = Hashable
+
+
+class UpdateParams:
+    """Border-variable store for one fragment.
+
+    Args:
+        aggregator: conflict-resolution function + its partial order.
+        default: initial value of every declared variable (e.g. ∞).
+        on_write: optional observer ``(vertex, old, new)`` invoked on
+            every accepted change — the assurance checker hooks in here.
+    """
+
+    def __init__(
+        self,
+        aggregator: Aggregator,
+        default: object,
+        on_write: Callable[[VertexId, object, object], None] | None = None,
+    ) -> None:
+        self.aggregator = aggregator
+        self.default = default
+        self._values: dict[VertexId, object] = {}
+        self._declared: set[VertexId] = set()
+        self._changed: set[VertexId] = set()
+        self._on_write = on_write
+
+    # ------------------------------------------------------------------
+    # Declaration
+    # ------------------------------------------------------------------
+    def declare(
+        self,
+        vertices: Iterable[VertexId],
+        initial: Mapping[VertexId, object] | None = None,
+    ) -> None:
+        """Declare update parameters for ``vertices``.
+
+        Initial values come from ``initial`` where present, otherwise the
+        default. Declaration does not mark variables as changed.
+        """
+        for v in vertices:
+            self._declared.add(v)
+            if initial is not None and v in initial:
+                self._values[v] = initial[v]
+            else:
+                self._values.setdefault(v, self.default)
+
+    @property
+    def declared(self) -> frozenset[VertexId]:
+        """The set of declared parameter vertices."""
+        return frozenset(self._declared)
+
+    def is_declared(self, v: VertexId) -> bool:
+        """Whether ``v`` carries an update parameter."""
+        return v in self._declared
+
+    # ------------------------------------------------------------------
+    # Local access (used inside PEval / IncEval)
+    # ------------------------------------------------------------------
+    def get(self, v: VertexId) -> object:
+        """Current value (default if never written)."""
+        return self._values.get(v, self.default)
+
+    def __getitem__(self, v: VertexId) -> object:
+        return self.get(v)
+
+    def set(self, v: VertexId, value: object) -> bool:
+        """Write a value from local computation; track the change.
+
+        Returns True if the stored value changed. Writes to undeclared
+        vertices are a program error — sequential code should only touch
+        variables it declared.
+        """
+        if v not in self._declared:
+            raise ProgramError(f"write to undeclared update parameter {v!r}")
+        old = self._values.get(v, self.default)
+        if old == value:
+            return False
+        if self._on_write is not None:
+            self._on_write(v, old, value)
+        self._values[v] = value
+        self._changed.add(v)
+        return True
+
+    def __setitem__(self, v: VertexId, value: object) -> None:
+        self.set(v, value)
+
+    def touch(self, v: VertexId) -> None:
+        """Mark ``v`` for (re-)sending without changing its value.
+
+        Needed when a *new consumer* appears (e.g. an edge insertion
+        creates a fresh mirror of an existing border vertex): the value
+        did not change, but the newcomer has never seen it.
+        """
+        if v not in self._declared:
+            raise ProgramError(f"touch of undeclared update parameter {v!r}")
+        self._changed.add(v)
+
+    def improve(self, v: VertexId, value: object) -> bool:
+        """Write ``value`` through the aggregate function.
+
+        The stored value becomes ``aggregate(current, value)`` — i.e. the
+        write only "improves" the variable along the declared partial
+        order (min keeps the smaller, union grows the set). Returns True
+        and marks the variable for sending if it changed. This is the
+        idiom PEval/IncEval use to export freshly computed border values.
+        """
+        old = self._values.get(v, self.default)
+        resolved = self.aggregator.resolve(old, value)
+        if resolved == old:
+            return False
+        return self.set(v, resolved)
+
+    # ------------------------------------------------------------------
+    # Message protocol (used by the engine)
+    # ------------------------------------------------------------------
+    def consume_changes(self) -> dict[VertexId, object]:
+        """Return and clear {vertex: value} for variables changed since
+        the last call — exactly the paper's automatic message content."""
+        out = {v: self._values[v] for v in self._changed}
+        self._changed.clear()
+        return out
+
+    def apply_remote(self, v: VertexId, value: object) -> bool:
+        """Aggregate an incoming candidate value into the local store.
+
+        Returns True if the local value changed (the vertex then belongs
+        to IncEval's update set ``M_i``). Remote applications do *not*
+        mark the variable as changed-for-sending; only subsequent local
+        improvements by IncEval are shipped back, which keeps the
+        fixed-point from echoing messages forever.
+        """
+        if v not in self._declared:
+            # A remote fragment may know border vertices this fragment
+            # never declared (e.g. directed cross edges); declare lazily.
+            self._declared.add(v)
+        old = self._values.get(v, self.default)
+        resolved = self.aggregator.resolve(old, value)
+        if resolved == old:
+            return False
+        if self._on_write is not None:
+            self._on_write(v, old, resolved)
+        self._values[v] = resolved
+        return True
+
+    def snapshot(self) -> dict[VertexId, object]:
+        """Copy of all current values (for tests and tracing)."""
+        return dict(self._values)
+
+    # ------------------------------------------------------------------
+    # Pickling (checkpoints): observers are closures and cannot travel.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_on_write"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    def __len__(self) -> int:
+        return len(self._declared)
+
+    def __repr__(self) -> str:
+        return (
+            f"<UpdateParams n={len(self._declared)} "
+            f"agg={self.aggregator.name} pending={len(self._changed)}>"
+        )

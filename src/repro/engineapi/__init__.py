@@ -1,0 +1,25 @@
+"""Top layers of Fig. 2: the GRAPE API library and parallel query engine.
+
+* :mod:`registry` — the "plug" panel: PIE programs registered by name;
+* :mod:`session` — the "play" panel: pick a program, a graph, a
+  partition strategy and a worker count, then submit queries;
+* :mod:`query` — query construction helpers per query class;
+* :mod:`report` — the analytics panel: performance breakdowns;
+* :mod:`cli` — a small command-line front end.
+"""
+
+from repro.engineapi.registry import (
+    available_programs,
+    get_program,
+    register_program,
+)
+from repro.engineapi.session import Session
+from repro.engineapi.report import format_report
+
+__all__ = [
+    "available_programs",
+    "get_program",
+    "register_program",
+    "Session",
+    "format_report",
+]

@@ -1,0 +1,187 @@
+"""Command-line front end: generate graphs, run queries, compare engines.
+
+Examples::
+
+    grape run --graph road:40x40 --query sssp --source 0 --workers 8
+    grape run --graph social:2000 --query cc --partition multilevel
+    grape partitions --graph power:5000 --workers 16
+    grape classes
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.engineapi.query import build_query, query_classes
+from repro.engineapi.registry import available_programs, get_program
+from repro.engineapi.report import format_report
+from repro.engineapi.session import Session
+from repro.errors import GrapeError
+from repro.graph.digraph import Graph
+from repro.graph.generators import (
+    labeled_social,
+    power_law,
+    road_network,
+)
+from repro.partition.base import evaluate_partition
+from repro.partition.registry import available_strategies, get_partitioner
+
+
+def _make_graph(spec: str) -> Graph:
+    """Parse ``kind:params`` graph specs used by the CLI."""
+    kind, _, arg = spec.partition(":")
+    if kind == "road":
+        rows, _, cols = arg.partition("x")
+        return road_network(int(rows), int(cols or rows))
+    if kind == "power":
+        return power_law(int(arg or 1000))
+    if kind == "social":
+        return labeled_social(int(arg or 500))
+    raise GrapeError(
+        f"unknown graph spec {spec!r}; use road:RxC, power:N or social:N"
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    graph = _make_graph(args.graph)
+    session = Session(
+        graph,
+        num_workers=args.workers,
+        partition=args.partition,
+        check_monotonic=args.check_monotonic,
+    )
+    kwargs: dict[str, object] = {}
+    if args.source is not None:
+        kwargs["source"] = args.source
+    if args.keywords:
+        kwargs["keywords"] = args.keywords.split(",")
+    query = build_query(args.query, **kwargs)
+    program_kwargs: dict[str, object] = {}
+    if args.query == "pagerank":
+        program_kwargs["total_vertices"] = graph.num_vertices
+    program = get_program(args.query, **program_kwargs)
+    result = session.run(program, query)
+    print(format_report(result, title=f"{args.query} on {args.graph}"))
+    return 0
+
+
+def _cmd_partitions(args: argparse.Namespace) -> int:
+    graph = _make_graph(args.graph)
+    print(
+        f"partition quality on {args.graph} "
+        f"(|V|={graph.num_vertices}, |E|={graph.num_edges}, "
+        f"{args.workers} parts)"
+    )
+    for name in available_strategies():
+        partitioner = get_partitioner(name)
+        assignment = partitioner(graph, args.workers)
+        report = evaluate_partition(
+            graph, assignment, args.workers, strategy=name
+        )
+        print(f"  {report}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    """Table-1-style comparison of all engines on one traversal query."""
+    from repro.algorithms.sssp import SSSPProgram, SSSPQuery
+    from repro.baselines.blogel import BlogelEngine
+    from repro.baselines.blogel_programs import BlogelSSSP
+    from repro.baselines.gas import GASEngine
+    from repro.baselines.gas_programs import GASSSSP
+    from repro.baselines.pregel import PregelEngine
+    from repro.baselines.pregel_programs import PregelSSSP
+    from repro.core.engine import GrapeEngine
+    from repro.engineapi.report import comparison_table
+    from repro.graph.fragment import build_fragments
+
+    graph = _make_graph(args.graph)
+    source = args.source if args.source is not None else 0
+    fragments = {
+        name: build_fragments(
+            graph, get_partitioner(name)(graph, args.workers),
+            args.workers, name,
+        )
+        for name in ("hash", "bfs", "multilevel")
+    }
+    results = {
+        "Giraph (vertex-centric)": PregelEngine(fragments["hash"]).run(
+            PregelSSSP(source=source)
+        ).metrics,
+        "GraphLab (GAS)": GASEngine(graph, fragments["hash"]).run(
+            GASSSSP(source=source)
+        ).metrics,
+        "Blogel (block-centric)": BlogelEngine(fragments["bfs"]).run(
+            BlogelSSSP(source=source)
+        ).metrics,
+        "GRAPE (PIE)": GrapeEngine(fragments["multilevel"]).run(
+            SSSPProgram(), SSSPQuery(source=source)
+        ).metrics,
+    }
+    print(
+        f"SSSP on {args.graph} with {args.workers} workers "
+        "(each system as deployed)\n"
+    )
+    print(comparison_table(results))
+    return 0
+
+
+def _cmd_classes(args: argparse.Namespace) -> int:
+    print("registered PIE programs:", ", ".join(available_programs()))
+    print("query classes:", ", ".join(query_classes()))
+    print("partition strategies:", ", ".join(available_strategies()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI parser."""
+    parser = argparse.ArgumentParser(
+        prog="grape",
+        description="GRAPE reproduction: parallel graph query engine",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a query on a generated graph")
+    run.add_argument("--graph", required=True, help="road:RxC|power:N|social:N")
+    run.add_argument("--query", required=True, choices=query_classes())
+    run.add_argument("--workers", type=int, default=4)
+    run.add_argument("--partition", default="hash")
+    run.add_argument("--source", type=int, default=None)
+    run.add_argument("--keywords", default=None)
+    run.add_argument("--check-monotonic", action="store_true")
+    run.set_defaults(func=_cmd_run)
+
+    parts = sub.add_parser(
+        "partitions", help="compare partition strategies on a graph"
+    )
+    parts.add_argument("--graph", required=True)
+    parts.add_argument("--workers", type=int, default=8)
+    parts.set_defaults(func=_cmd_partitions)
+
+    compare = sub.add_parser(
+        "compare", help="Table-1-style engine comparison on SSSP"
+    )
+    compare.add_argument("--graph", required=True)
+    compare.add_argument("--workers", type=int, default=8)
+    compare.add_argument("--source", type=int, default=None)
+    compare.set_defaults(func=_cmd_compare)
+
+    classes = sub.add_parser("classes", help="list registered components")
+    classes.set_defaults(func=_cmd_classes)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except GrapeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,157 @@
+"""The "play" panel: pick program, graph, partition strategy and n.
+
+A :class:`Session` owns one graph, partitions it with a registered
+strategy across ``num_workers`` simulated workers, and runs PIE programs
+(by object or registered name) against it, returning
+:class:`~repro.core.engine.GrapeResult` with full metering.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.engine import GrapeEngine, GrapeResult
+from repro.core.pie import PIEProgram
+from repro.engineapi.registry import get_program
+from repro.graph.digraph import Graph
+from repro.graph.fragment import FragmentedGraph, build_fragments
+from repro.partition.base import PartitionReport, Partitioner, evaluate_partition
+from repro.partition.registry import get_partitioner
+from repro.runtime.costmodel import CostModel
+
+VertexId = Hashable
+
+
+class Session:
+    """One graph + one partition + a simulated cluster, ready to query.
+
+    Args:
+        graph: the data graph.
+        num_workers: number of simulated workers (fragments).
+        partition: a registered strategy name, or a
+            :class:`~repro.partition.base.Partitioner` instance.
+        cost_model: simulated cluster parameters.
+        check_monotonic: verify the Assurance Theorem's order condition
+            on every parameter write.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        num_workers: int = 4,
+        partition: str | Partitioner = "hash",
+        cost_model: CostModel | None = None,
+        check_monotonic: bool = False,
+        routing: str = "coordinator",
+    ) -> None:
+        self.graph = graph
+        self.num_workers = num_workers
+        self.cost_model = cost_model or CostModel()
+        self.check_monotonic = check_monotonic
+        self.routing = routing
+        self._partitioner = (
+            partition
+            if isinstance(partition, Partitioner)
+            else get_partitioner(partition)
+        )
+        self._fragmented: FragmentedGraph | None = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_catalog(
+        cls,
+        catalog,
+        graph_name: str,
+        partition_name: str | None = None,
+        **kwargs,
+    ) -> "Session":
+        """Open a session on a graph stored in a DFS catalog.
+
+        With ``partition_name`` the stored fragmentation is reused
+        directly (its fragment count wins over ``num_workers``);
+        otherwise the session partitions the loaded graph as usual.
+        """
+        graph = catalog.load_graph(graph_name)
+        if partition_name is None:
+            return cls(graph, **kwargs)
+        fragmented = catalog.load_partition(graph_name, partition_name)
+        session = cls(
+            graph,
+            num_workers=fragmented.num_fragments,
+            **{k: v for k, v in kwargs.items() if k != "num_workers"},
+        )
+        session._fragmented = fragmented
+        return session
+
+    # ------------------------------------------------------------------
+    @property
+    def partitioner(self) -> Partitioner:
+        """The partition strategy this session uses."""
+        return self._partitioner
+
+    @property
+    def fragmented(self) -> FragmentedGraph:
+        """The fragmentation, computed lazily and cached."""
+        if self._fragmented is None:
+            assignment = self._partitioner(self.graph, self.num_workers)
+            self._fragmented = build_fragments(
+                self.graph,
+                assignment,
+                self.num_workers,
+                strategy=self._partitioner.name,
+            )
+        return self._fragmented
+
+    def repartition(
+        self,
+        partition: str | Partitioner | None = None,
+        num_workers: int | None = None,
+    ) -> FragmentedGraph:
+        """Change strategy and/or worker count; invalidates fragments."""
+        if partition is not None:
+            self._partitioner = (
+                partition
+                if isinstance(partition, Partitioner)
+                else get_partitioner(partition)
+            )
+        if num_workers is not None:
+            self.num_workers = num_workers
+        self._fragmented = None
+        return self.fragmented
+
+    def partition_report(self) -> PartitionReport:
+        """Quality metrics of the current partition."""
+        return evaluate_partition(
+            self.graph,
+            self.fragmented.assignment,
+            self.num_workers,
+            strategy=self._partitioner.name,
+        )
+
+    # ------------------------------------------------------------------
+    def engine(self) -> GrapeEngine:
+        """A GrapeEngine bound to this session's fragmentation."""
+        return GrapeEngine(
+            self.fragmented,
+            cost_model=self.cost_model,
+            check_monotonic=self.check_monotonic,
+            routing=self.routing,
+        )
+
+    def run(
+        self, program: PIEProgram, query: object, **engine_kwargs
+    ) -> GrapeResult:
+        """Run a PIE program instance against this session's graph.
+
+        Extra keyword arguments go to
+        :meth:`~repro.core.engine.GrapeEngine.run` (``keep_state``,
+        ``checkpoint``).
+        """
+        return self.engine().run(program, query, **engine_kwargs)
+
+    def run_registered(
+        self, name: str, query: object, **program_kwargs
+    ) -> GrapeResult:
+        """Run a program from the API library by its registered name."""
+        program = get_program(name, **program_kwargs)
+        return self.engine().run(program, query)

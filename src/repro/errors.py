@@ -1,0 +1,48 @@
+"""Exception hierarchy for the GRAPE reproduction.
+
+All library errors derive from :class:`GrapeError` so callers can catch a
+single base class. Subclasses identify the subsystem that raised them.
+"""
+
+from __future__ import annotations
+
+
+class GrapeError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class GraphError(GrapeError):
+    """Invalid graph construction or access (unknown vertex, bad edge...)."""
+
+
+class PartitionError(GrapeError):
+    """A partition strategy was misused or produced an invalid partition."""
+
+
+class RuntimeErrorGrape(GrapeError):
+    """The simulated cluster runtime detected an inconsistency."""
+
+
+class ProgramError(GrapeError):
+    """A PIE / vertex / block program violated its contract."""
+
+
+class MonotonicityError(ProgramError):
+    """An update parameter moved against its declared partial order.
+
+    Raised by the assurance checker when strict verification is enabled;
+    this is the runtime counterpart of the paper's Assurance Theorem
+    precondition.
+    """
+
+
+class StorageError(GrapeError):
+    """Simulated-DFS or serialization failure."""
+
+
+class QueryError(GrapeError):
+    """Malformed query or unknown query class submitted to the engine."""
+
+
+class RegistryError(GrapeError):
+    """Unknown or duplicate name in a plug-in registry."""

@@ -1,0 +1,34 @@
+"""Graph Pattern Association Rules — the demo's marketing application.
+
+A GPAR ``Q(x, y) => p(x, y)`` [Fan et al., PVLDB'15] extends association
+rules with a graph pattern ``Q`` over designated nodes ``x`` (a person)
+and ``y`` (typically a product): when the topological condition holds,
+``x`` and ``y`` are likely associated by predicate ``p`` (e.g. *buy*).
+The demo's Example 2 rule: if ≥80% of the people ``x`` follows recommend
+a phone and none rates it badly, recommend the phone to ``x``.
+
+This package provides patterns with designated nodes
+(:mod:`pattern`), rules with support/confidence semantics (:mod:`rule`),
+a parallel matcher built on the SubIso PIE program (:mod:`matcher`), and
+the end-to-end potential-customer pipeline (:mod:`marketing`).
+"""
+
+from repro.gpar.pattern import Pattern
+from repro.gpar.rule import GPAR, Quantifier
+from repro.gpar.matcher import match_pattern, find_rule_matches
+from repro.gpar.marketing import (
+    MarketingCampaign,
+    example2_rule,
+    find_potential_customers,
+)
+
+__all__ = [
+    "Pattern",
+    "GPAR",
+    "Quantifier",
+    "match_pattern",
+    "find_rule_matches",
+    "MarketingCampaign",
+    "example2_rule",
+    "find_potential_customers",
+]

@@ -1,0 +1,57 @@
+"""Graph patterns with designated nodes ``x`` and ``y``."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.errors import QueryError
+from repro.graph.digraph import Graph
+
+VertexId = Hashable
+
+
+@dataclass
+class Pattern:
+    """A labeled pattern graph ``Q(x, y)`` with two designated nodes.
+
+    Pattern vertices are arbitrary ids with labels constraining the data
+    vertices they may match (None = wildcard); pattern edges may carry
+    labels constraining data edge labels. ``x`` is the pivot the parallel
+    matcher anchors ownership on.
+    """
+
+    graph: Graph = field(default_factory=lambda: Graph(directed=True))
+    x: VertexId = "x"
+    y: VertexId = "y"
+
+    def vertex(self, vid: VertexId, label: str | None = None,
+               **props: object) -> "Pattern":
+        """Add a pattern vertex (chainable)."""
+        self.graph.add_vertex(vid, label, **props)
+        return self
+
+    def edge(
+        self, src: VertexId, dst: VertexId, label: str | None = None
+    ) -> "Pattern":
+        """Add a pattern edge (chainable)."""
+        self.graph.add_edge(src, dst, label=label)
+        return self
+
+    def validate(self) -> None:
+        """Raise QueryError unless both designated nodes exist."""
+        if self.x not in self.graph:
+            raise QueryError(f"designated node x={self.x!r} not in pattern")
+        if self.y not in self.graph:
+            raise QueryError(f"designated node y={self.y!r} not in pattern")
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return self.graph.num_vertices
+
+    def __repr__(self) -> str:
+        return (
+            f"<Pattern |V|={self.graph.num_vertices} "
+            f"|E|={self.graph.num_edges} x={self.x!r} y={self.y!r}>"
+        )

@@ -1,0 +1,97 @@
+"""GPAR rules: pattern antecedent, predicate consequent, quantifiers.
+
+Beyond plain subgraph patterns, the demo's Example 2 needs *quantified*
+conditions ("at least 80% of the people followed by x recommend the
+phone", "no one rates it badly"). A :class:`Quantifier` expresses such a
+ratio constraint over the designated person's neighborhood; a
+:class:`GPAR` bundles pattern + quantifiers + consequent predicate and
+defines support and confidence the usual association-rule way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.graph.digraph import Graph
+from repro.gpar.pattern import Pattern
+
+VertexId = Hashable
+
+
+@dataclass(frozen=True)
+class Quantifier:
+    """A ratio constraint over ``x``'s out-neighborhood.
+
+    Among the out-neighbors of the candidate ``x`` reached by edges
+    labeled ``over_label`` (e.g. *follow*), the fraction that have an
+    edge labeled ``edge_label`` to the candidate ``y`` must be
+    ``>= at_least`` and ``<= at_most``. ``at_most=0.0`` expresses
+    negation ("no one rates it badly"); ``at_least=0.8`` expresses the
+    80% rule.
+    """
+
+    over_label: str
+    edge_label: str
+    at_least: float = 0.0
+    at_most: float = 1.0
+
+    def holds(self, graph: Graph, x: VertexId, y: VertexId) -> bool:
+        """Whether the ratio constraint holds for ``(x, y)`` in ``graph``."""
+        peers = [
+            e.dst for e in graph.out_edges(x) if e.label == self.over_label
+        ]
+        if not peers:
+            return False  # vacuous neighborhoods don't trigger marketing
+        hits = sum(
+            1 for p in peers if graph.has_edge(p, y)
+            and graph.edge_label(p, y) == self.edge_label
+        )
+        ratio = hits / len(peers)
+        return self.at_least <= ratio <= self.at_most
+
+
+@dataclass
+class GPAR:
+    """``Q(x, y) AND quantifiers => p(x, y)``."""
+
+    name: str
+    pattern: Pattern
+    consequent_label: str  # the predicate p: an edge label x -> y
+    quantifiers: tuple[Quantifier, ...] = field(default_factory=tuple)
+
+    def antecedent_holds(
+        self, graph: Graph, x: VertexId, y: VertexId
+    ) -> bool:
+        """Quantifier part of the antecedent (pattern checked by matcher)."""
+        return all(q.holds(graph, x, y) for q in self.quantifiers)
+
+    def consequent_holds(
+        self, graph: Graph, x: VertexId, y: VertexId
+    ) -> bool:
+        """Whether ``p(x, y)`` holds (the consequent edge exists)."""
+        return (
+            graph.has_edge(x, y)
+            and graph.edge_label(x, y) == self.consequent_label
+        )
+
+    def support_confidence(
+        self, graph: Graph, candidates: set[tuple[VertexId, VertexId]]
+    ) -> tuple[int, float]:
+        """(support, confidence) over antecedent-satisfying pairs.
+
+        Support = #pairs satisfying antecedent AND consequent;
+        confidence = support / #pairs satisfying the antecedent.
+        """
+        if not candidates:
+            return 0, 0.0
+        positives = sum(
+            1 for x, y in candidates if self.consequent_holds(graph, x, y)
+        )
+        return positives, positives / len(candidates)
+
+    def __repr__(self) -> str:
+        return (
+            f"<GPAR {self.name!r}: Q(x,y) + {len(self.quantifiers)} "
+            f"quantifiers => {self.consequent_label!r}(x,y)>"
+        )

@@ -1,0 +1,16 @@
+"""Graph substrate: property digraph, IO, generators, fragments, metrics."""
+
+from repro.graph.digraph import Edge, Graph
+from repro.graph.builder import GraphBuilder
+from repro.graph.fragment import Fragment, FragmentedGraph, build_fragments
+from repro.graph.properties import PropertyMap
+
+__all__ = [
+    "Edge",
+    "Graph",
+    "GraphBuilder",
+    "Fragment",
+    "FragmentedGraph",
+    "build_fragments",
+    "PropertyMap",
+]

@@ -1,0 +1,75 @@
+"""Incremental graph construction helper.
+
+:class:`GraphBuilder` batches vertices and edges (e.g. while streaming a
+file) and materializes a :class:`~repro.graph.digraph.Graph`. It also
+performs optional id remapping to dense integers, which partitioners and
+generators rely on for reproducible hashing.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.graph.digraph import Graph
+
+VertexId = Hashable
+
+
+class GraphBuilder:
+    """Accumulates vertices/edges, then builds a Graph in one pass."""
+
+    def __init__(self, directed: bool = True, relabel: bool = False) -> None:
+        self.directed = directed
+        self.relabel = relabel
+        self._vertices: dict[VertexId, tuple[str | None, dict[str, object]]] = {}
+        self._edges: list[tuple[VertexId, VertexId, float, str | None]] = []
+
+    def vertex(
+        self, v: VertexId, label: str | None = None, **props: object
+    ) -> "GraphBuilder":
+        """Add a pattern vertex (chainable)."""
+        old_label, old_props = self._vertices.get(v, (None, {}))
+        merged = dict(old_props)
+        merged.update(props)
+        self._vertices[v] = (label if label is not None else old_label, merged)
+        return self
+
+    def edge(
+        self,
+        src: VertexId,
+        dst: VertexId,
+        weight: float = 1.0,
+        label: str | None = None,
+    ) -> "GraphBuilder":
+        """Add a pattern edge (chainable)."""
+        self._edges.append((src, dst, weight, label))
+        self.vertex(src)
+        self.vertex(dst)
+        return self
+
+    def edges(
+        self, pairs: Iterable[tuple[VertexId, VertexId]]
+    ) -> "GraphBuilder":
+        """Add many unweighted edges (chainable)."""
+        for src, dst in pairs:
+            self.edge(src, dst)
+        return self
+
+    def build(self) -> Graph:
+        """Materialize the graph; with ``relabel`` ids become 0..n-1."""
+        mapping: dict[VertexId, VertexId]
+        if self.relabel:
+            mapping = {v: i for i, v in enumerate(self._vertices)}
+        else:
+            mapping = {v: v for v in self._vertices}
+        g = Graph(directed=self.directed)
+        for v, (label, props) in self._vertices.items():
+            g.add_vertex(mapping[v], label, **props)
+        for src, dst, weight, label in self._edges:
+            g.add_edge(mapping[src], mapping[dst], weight, label)
+        return g
+
+    @property
+    def id_map(self) -> dict[VertexId, int]:
+        """Original-id -> dense-id map (only meaningful with relabel)."""
+        return {v: i for i, v in enumerate(self._vertices)}

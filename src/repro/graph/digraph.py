@@ -1,0 +1,298 @@
+"""The core directed property graph.
+
+A :class:`Graph` is a simple directed graph (no parallel edges) with
+
+* integer (or other hashable) vertex ids,
+* an optional string *label* and a property dict per vertex,
+* a float *weight* and optional string *label* per edge.
+
+Both out- and in-adjacency are maintained so traversal algorithms
+(Dijkstra, simulation, keyword search) and partitioners can walk edges in
+either direction in O(degree). The structure is mutable; fragments and
+views share no storage with the parent graph (copies are explicit), which
+keeps worker-local state in the simulated cluster honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator
+
+from repro.errors import GraphError
+
+VertexId = Hashable
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed edge ``src -> dst`` with weight and optional label."""
+
+    src: VertexId
+    dst: VertexId
+    weight: float = 1.0
+    label: str | None = None
+
+
+class Graph:
+    """Mutable directed property graph.
+
+    Example::
+
+        g = Graph()
+        g.add_edge(1, 2, weight=3.0)
+        g.add_vertex(3, label="person", name="ann")
+        g.out_neighbors(1)      # -> [2]
+        g.edge_weight(1, 2)     # -> 3.0
+    """
+
+    def __init__(self, directed: bool = True) -> None:
+        self.directed = directed
+        self._out: dict[VertexId, dict[VertexId, float]] = {}
+        self._in: dict[VertexId, dict[VertexId, float]] = {}
+        self._vlabel: dict[VertexId, str | None] = {}
+        self._vprops: dict[VertexId, dict[str, object]] = {}
+        self._elabel: dict[tuple[VertexId, VertexId], str] = {}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_vertex(
+        self,
+        v: VertexId,
+        label: str | None = None,
+        **props: object,
+    ) -> None:
+        """Add vertex ``v`` (idempotent); label/props update existing."""
+        if v not in self._out:
+            self._out[v] = {}
+            self._in[v] = {}
+            self._vlabel[v] = label
+        elif label is not None:
+            self._vlabel[v] = label
+        if props:
+            self._vprops.setdefault(v, {}).update(props)
+
+    def add_edge(
+        self,
+        src: VertexId,
+        dst: VertexId,
+        weight: float = 1.0,
+        label: str | None = None,
+    ) -> None:
+        """Add (or overwrite) edge ``src -> dst``.
+
+        Endpoints are created on demand. For an undirected graph the
+        reverse edge is stored as well but counted once.
+        """
+        if weight < 0:
+            raise GraphError(f"negative edge weight {weight} on {src}->{dst}")
+        self.add_vertex(src)
+        self.add_vertex(dst)
+        fresh = dst not in self._out[src]
+        self._out[src][dst] = weight
+        self._in[dst][src] = weight
+        if label is not None:
+            self._elabel[(src, dst)] = label
+        if not self.directed:
+            self._out[dst][src] = weight
+            self._in[src][dst] = weight
+            if label is not None:
+                self._elabel[(dst, src)] = label
+        if fresh:
+            self._num_edges += 1
+
+    def remove_edge(self, src: VertexId, dst: VertexId) -> None:
+        """Remove edge ``src -> dst``; GraphError if absent."""
+        if src not in self._out or dst not in self._out[src]:
+            raise GraphError(f"no edge {src}->{dst}")
+        del self._out[src][dst]
+        del self._in[dst][src]
+        self._elabel.pop((src, dst), None)
+        if not self.directed:
+            del self._out[dst][src]
+            del self._in[src][dst]
+            self._elabel.pop((dst, src), None)
+        self._num_edges -= 1
+
+    def remove_vertex(self, v: VertexId) -> None:
+        """Remove ``v`` and all incident edges; GraphError if absent."""
+        if v not in self._out:
+            raise GraphError(f"no vertex {v}")
+        for dst in list(self._out[v]):
+            self.remove_edge(v, dst)
+        for src in list(self._in[v]):
+            if src in self._out and v in self._out[src]:
+                self.remove_edge(src, v)
+        del self._out[v]
+        del self._in[v]
+        del self._vlabel[v]
+        self._vprops.pop(v, None)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self._out)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of (stored) edges."""
+        return self._num_edges
+
+    def __len__(self) -> int:
+        return len(self._out)
+
+    def __contains__(self, v: VertexId) -> bool:
+        return v in self._out
+
+    def has_vertex(self, v: VertexId) -> bool:
+        """Whether vertex ``v`` exists."""
+        return v in self._out
+
+    def has_edge(self, src: VertexId, dst: VertexId) -> bool:
+        """Whether edge ``src -> dst`` exists."""
+        return src in self._out and dst in self._out[src]
+
+    def vertices(self) -> Iterator[VertexId]:
+        """Iterate all vertex ids."""
+        return iter(self._out)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate every stored directed edge (each once for directed)."""
+        for src, nbrs in self._out.items():
+            for dst, weight in nbrs.items():
+                if not self.directed and repr(dst) < repr(src):
+                    continue  # report each undirected edge once
+                yield Edge(src, dst, weight, self._elabel.get((src, dst)))
+
+    def out_neighbors(self, v: VertexId) -> list[VertexId]:
+        """Targets of ``v``'s outgoing edges."""
+        self._require(v)
+        return list(self._out[v])
+
+    def in_neighbors(self, v: VertexId) -> list[VertexId]:
+        """Sources of ``v``'s incoming edges."""
+        self._require(v)
+        return list(self._in[v])
+
+    def neighbors(self, v: VertexId) -> list[VertexId]:
+        """Union of out- and in-neighbors (undirected adjacency)."""
+        self._require(v)
+        merged = dict.fromkeys(self._out[v])
+        merged.update(dict.fromkeys(self._in[v]))
+        return list(merged)
+
+    def out_edges(self, v: VertexId) -> list[Edge]:
+        """This vertex's outgoing edges."""
+        self._require(v)
+        return [
+            Edge(v, dst, w, self._elabel.get((v, dst)))
+            for dst, w in self._out[v].items()
+        ]
+
+    def in_edges(self, v: VertexId) -> list[Edge]:
+        """Incoming edges of ``v``."""
+        self._require(v)
+        return [
+            Edge(src, v, w, self._elabel.get((src, v)))
+            for src, w in self._in[v].items()
+        ]
+
+    def out_degree(self, v: VertexId) -> int:
+        """Number of outgoing edges of ``v``."""
+        self._require(v)
+        return len(self._out[v])
+
+    def in_degree(self, v: VertexId) -> int:
+        """Number of incoming edges of ``v``."""
+        self._require(v)
+        return len(self._in[v])
+
+    def degree(self, v: VertexId) -> int:
+        """Number of distinct neighbors of ``v`` (either direction)."""
+        return len(self.neighbors(v))
+
+    def edge_weight(self, src: VertexId, dst: VertexId) -> float:
+        """Weight of edge ``src -> dst`` (GraphError if absent)."""
+        if not self.has_edge(src, dst):
+            raise GraphError(f"no edge {src}->{dst}")
+        return self._out[src][dst]
+
+    def edge_label(self, src: VertexId, dst: VertexId) -> str | None:
+        """Label of edge ``src -> dst`` (GraphError if absent)."""
+        if not self.has_edge(src, dst):
+            raise GraphError(f"no edge {src}->{dst}")
+        return self._elabel.get((src, dst))
+
+    def vertex_label(self, v: VertexId) -> str | None:
+        """Label of vertex ``v`` (GraphError if absent)."""
+        self._require(v)
+        return self._vlabel[v]
+
+    def vertex_props(self, v: VertexId) -> dict[str, object]:
+        """Property dict of vertex ``v`` (may be empty)."""
+        self._require(v)
+        return self._vprops.get(v, {})
+
+    def vertices_with_label(self, label: str) -> list[VertexId]:
+        """All vertices carrying ``label`` (linear scan; see storage.index)."""
+        return [v for v, lab in self._vlabel.items() if lab == label]
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        """Deep-enough copy: structure and labels; props shallow-copied."""
+        g = Graph(directed=self.directed)
+        for v in self._out:
+            g.add_vertex(v, self._vlabel[v], **self._vprops.get(v, {}))
+        for src, nbrs in self._out.items():
+            for dst, w in nbrs.items():
+                if not self.directed and (dst, src) in g._elabel:
+                    continue
+                g.add_edge(src, dst, w, self._elabel.get((src, dst)))
+        return g
+
+    def subgraph(self, vertices: Iterable[VertexId]) -> "Graph":
+        """Induced subgraph over ``vertices`` (copies labels/props)."""
+        keep = set(vertices)
+        g = Graph(directed=self.directed)
+        for v in keep:
+            self._require(v)
+            g.add_vertex(v, self._vlabel[v], **self._vprops.get(v, {}))
+        for src in keep:
+            for dst, w in self._out[src].items():
+                if dst in keep:
+                    g.add_edge(src, dst, w, self._elabel.get((src, dst)))
+        return g
+
+    def reversed(self) -> "Graph":
+        """Graph with every edge direction flipped."""
+        g = Graph(directed=self.directed)
+        for v in self._out:
+            g.add_vertex(v, self._vlabel[v], **self._vprops.get(v, {}))
+        for src, nbrs in self._out.items():
+            for dst, w in nbrs.items():
+                g.add_edge(dst, src, w, self._elabel.get((src, dst)))
+        return g
+
+    def as_undirected(self) -> "Graph":
+        """Undirected copy (weights of antiparallel pairs: last wins)."""
+        g = Graph(directed=False)
+        for v in self._out:
+            g.add_vertex(v, self._vlabel[v], **self._vprops.get(v, {}))
+        for src, nbrs in self._out.items():
+            for dst, w in nbrs.items():
+                g.add_edge(src, dst, w, self._elabel.get((src, dst)))
+        return g
+
+    def __repr__(self) -> str:
+        kind = "digraph" if self.directed else "graph"
+        return f"<Graph {kind} |V|={self.num_vertices} |E|={self.num_edges}>"
+
+    def _require(self, v: VertexId) -> None:
+        if v not in self._out:
+            raise GraphError(f"no vertex {v}")

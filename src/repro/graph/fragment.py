@@ -1,0 +1,267 @@
+"""Graph fragmentation: edge-cut fragments with border bookkeeping.
+
+Following the paper (Section 2.2), a graph ``G`` is fragmented into
+``(F_1, ..., F_n)`` by a partition strategy. Each fragment ``F_i``
+consists of
+
+* the vertices *owned* by worker ``P_i`` (``V_i``),
+* every edge whose source is owned (``E_i``), and
+* *mirror* copies of out-neighbors owned elsewhere (``F_i.O``).
+
+The *border nodes* of ``F_i`` — where update parameters live — are the
+owned vertices known to some other fragment (``F_i.I``, i.e. targets of
+cross edges) together with the mirrors (``F_i.O``). A
+:class:`FragmentedGraph` additionally records, for every border vertex,
+the set of fragments that host a copy; the runtime uses this to route
+update-parameter messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping, Sequence
+
+from repro.errors import PartitionError
+from repro.graph.digraph import Graph
+
+VertexId = Hashable
+
+
+@dataclass
+class Fragment:
+    """One worker's fraction of the graph.
+
+    Attributes:
+        fid: fragment (worker) index in ``[0, n)``.
+        graph: local subgraph — owned vertices, their out-edges, and
+            mirror endpoints of cross edges.
+        owned: vertex ids owned by this fragment.
+        mirrors: vertex id -> owning fragment, for local mirror copies.
+        inner_border: owned vertices that appear as mirrors elsewhere.
+    """
+
+    fid: int
+    graph: Graph
+    owned: set[VertexId]
+    mirrors: dict[VertexId, int]
+    inner_border: set[VertexId] = field(default_factory=set)
+
+    @property
+    def border(self) -> set[VertexId]:
+        """All vertices carrying update parameters (``F_i.I ∪ F_i.O``)."""
+        return self.inner_border | set(self.mirrors)
+
+    def owns(self, v: VertexId) -> bool:
+        """Whether this fragment owns ``v``."""
+        return v in self.owned
+
+    def is_mirror(self, v: VertexId) -> bool:
+        """Whether ``v`` is a local mirror owned elsewhere."""
+        return v in self.mirrors
+
+    @property
+    def num_owned(self) -> int:
+        """Number of owned vertices."""
+        return len(self.owned)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Fragment {self.fid} owned={len(self.owned)} "
+            f"mirrors={len(self.mirrors)} border={len(self.border)}>"
+        )
+
+
+class FragmentedGraph:
+    """The fragments of one graph plus global routing metadata."""
+
+    def __init__(
+        self,
+        fragments: Sequence[Fragment],
+        assignment: Mapping[VertexId, int],
+        strategy: str = "unknown",
+    ) -> None:
+        self.fragments = list(fragments)
+        self.assignment = dict(assignment)
+        self.strategy = strategy
+        # vid -> set of fids hosting a copy (owner first by convention).
+        self.known_by: dict[VertexId, set[int]] = {}
+        for frag in self.fragments:
+            for v in frag.owned:
+                self.known_by.setdefault(v, set()).add(frag.fid)
+            for v in frag.mirrors:
+                self.known_by.setdefault(v, set()).add(frag.fid)
+
+    @property
+    def num_fragments(self) -> int:
+        """Number of fragments (= workers)."""
+        return len(self.fragments)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self.assignment)
+
+    def owner_of(self, v: VertexId) -> int:
+        """Fragment id owning vertex ``v``."""
+        try:
+            return self.assignment[v]
+        except KeyError:
+            raise PartitionError(f"vertex {v} not in any fragment") from None
+
+    def fragment_of(self, v: VertexId) -> Fragment:
+        """The fragment owning vertex ``v``."""
+        return self.fragments[self.owner_of(v)]
+
+    def hosts(self, v: VertexId) -> set[int]:
+        """All fragment ids holding a copy (owner + mirrors)."""
+        return self.known_by.get(v, set())
+
+    def cross_edges(self) -> int:
+        """Number of edges whose endpoints live on different fragments."""
+        total = 0
+        for frag in self.fragments:
+            for v in frag.owned:
+                for u in frag.graph.out_neighbors(v):
+                    if u in frag.mirrors:
+                        total += 1
+        return total
+
+    def balance(self) -> float:
+        """Max fragment size over ideal size (1.0 = perfectly balanced)."""
+        if not self.fragments:
+            return 1.0
+        ideal = max(1.0, self.num_vertices / len(self.fragments))
+        return max(len(f.owned) for f in self.fragments) / ideal
+
+    def __repr__(self) -> str:
+        return (
+            f"<FragmentedGraph n={self.num_fragments} "
+            f"strategy={self.strategy!r} cross={self.cross_edges()}>"
+        )
+
+
+def expand_fragments(
+    graph: Graph,
+    fragmented: FragmentedGraph,
+    radius: int,
+) -> FragmentedGraph:
+    """d-hop replication: grow each fragment's local graph by ``radius``.
+
+    Locality-bounded queries (subgraph isomorphism, ego-pattern GPARs)
+    need every match whose pivot is owned to be fully visible locally.
+    Expanding each fragment with the induced subgraph over all vertices
+    within ``radius`` undirected hops of its owned set makes PEval exact
+    with no IncEval rounds — the strategy GRAPE uses for SubIso. The
+    replication cost (extra vertices per fragment) is the space/comm
+    trade-off the caller should meter at load time.
+    """
+    expanded: list[Fragment] = []
+    for frag in fragmented.fragments:
+        keep = set(frag.owned)
+        frontier = set(frag.owned)
+        for _ in range(radius):
+            nxt: set[VertexId] = set()
+            for v in frontier:
+                for u in graph.neighbors(v):
+                    if u not in keep:
+                        nxt.add(u)
+            keep |= nxt
+            frontier = nxt
+            if not frontier:
+                break
+        local = graph.subgraph(keep)
+        mirrors = {
+            v: fragmented.owner_of(v) for v in keep if v not in frag.owned
+        }
+        expanded.append(
+            Fragment(
+                fid=frag.fid,
+                graph=local,
+                owned=set(frag.owned),
+                mirrors=mirrors,
+                inner_border=set(frag.inner_border),
+            )
+        )
+    return FragmentedGraph(
+        expanded,
+        fragmented.assignment,
+        strategy=f"{fragmented.strategy}+expand{radius}",
+    )
+
+
+def build_fragments(
+    graph: Graph,
+    assignment: Mapping[VertexId, int],
+    num_fragments: int,
+    strategy: str = "unknown",
+) -> FragmentedGraph:
+    """Materialize edge-cut fragments from a vertex -> fragment map.
+
+    Every vertex of ``graph`` must be assigned to a fragment id in
+    ``[0, num_fragments)``. Fragment ``i`` receives its owned vertices
+    (with labels/properties), all out-edges of owned vertices, and mirror
+    copies (with labels/properties, so pattern matching can inspect them)
+    of cross-edge targets.
+    """
+    if num_fragments < 1:
+        raise PartitionError("need at least one fragment")
+    for v in graph.vertices():
+        fid = assignment.get(v)
+        if fid is None:
+            raise PartitionError(f"vertex {v} is unassigned")
+        if not 0 <= fid < num_fragments:
+            raise PartitionError(f"vertex {v} assigned to invalid {fid}")
+
+    locals_: list[Graph] = [
+        Graph(directed=graph.directed) for _ in range(num_fragments)
+    ]
+    owned: list[set[VertexId]] = [set() for _ in range(num_fragments)]
+    mirrors: list[dict[VertexId, int]] = [{} for _ in range(num_fragments)]
+    inner_border: list[set[VertexId]] = [set() for _ in range(num_fragments)]
+
+    for v in graph.vertices():
+        fid = assignment[v]
+        owned[fid].add(v)
+        locals_[fid].add_vertex(
+            v, graph.vertex_label(v), **graph.vertex_props(v)
+        )
+
+    for edge in graph.edges():
+        src_fid = assignment[edge.src]
+        dst_fid = assignment[edge.dst]
+        local = locals_[src_fid]
+        if not local.has_vertex(edge.dst):
+            local.add_vertex(
+                edge.dst,
+                graph.vertex_label(edge.dst),
+                **graph.vertex_props(edge.dst),
+            )
+        local.add_edge(edge.src, edge.dst, edge.weight, edge.label)
+        if dst_fid != src_fid:
+            mirrors[src_fid][edge.dst] = dst_fid
+            inner_border[dst_fid].add(edge.dst)
+        if not graph.directed:
+            # Stored once but owned by both endpoints' fragments.
+            local_dst = locals_[dst_fid]
+            if dst_fid != src_fid:
+                if not local_dst.has_vertex(edge.src):
+                    local_dst.add_vertex(
+                        edge.src,
+                        graph.vertex_label(edge.src),
+                        **graph.vertex_props(edge.src),
+                    )
+                local_dst.add_edge(edge.dst, edge.src, edge.weight, edge.label)
+                mirrors[dst_fid][edge.src] = src_fid
+                inner_border[src_fid].add(edge.src)
+
+    fragments = [
+        Fragment(
+            fid=i,
+            graph=locals_[i],
+            owned=owned[i],
+            mirrors=mirrors[i],
+            inner_border=inner_border[i],
+        )
+        for i in range(num_fragments)
+    ]
+    return FragmentedGraph(fragments, assignment, strategy=strategy)

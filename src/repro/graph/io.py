@@ -1,0 +1,190 @@
+"""Graph readers and writers.
+
+Formats:
+
+* **edge list** — ``src dst [weight]`` per line, ``#`` comments (SNAP style,
+  covers LiveJournal-like downloads),
+* **DIMACS** ``.gr`` — ``p sp n m`` header and ``a u v w`` arcs (the format
+  of the US road network the paper benchmarks),
+* **METIS** — 1-indexed adjacency lines, read as an undirected graph,
+* **JSON** — full property-graph round trip (labels and properties).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import GraphError
+from repro.graph.digraph import Graph
+
+
+def read_edge_list(
+    path: str | Path,
+    directed: bool = True,
+    weighted: bool = False,
+) -> Graph:
+    """Read a whitespace-separated edge list; ints when possible."""
+    g = Graph(directed=directed)
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphError(f"{path}:{lineno}: expected 'src dst'")
+            src, dst = _parse_id(parts[0]), _parse_id(parts[1])
+            weight = float(parts[2]) if weighted and len(parts) > 2 else 1.0
+            g.add_edge(src, dst, weight)
+    return g
+
+
+def write_edge_list(graph: Graph, path: str | Path) -> None:
+    """Write ``src dst weight`` lines (one per stored edge)."""
+    with open(path, "w") as fh:
+        fh.write(f"# |V|={graph.num_vertices} |E|={graph.num_edges}\n")
+        for edge in graph.edges():
+            fh.write(f"{edge.src} {edge.dst} {edge.weight:g}\n")
+
+
+def read_dimacs(path: str | Path) -> Graph:
+    """Read a DIMACS shortest-path ``.gr`` file into a directed graph."""
+    g = Graph(directed=True)
+    declared: tuple[int, int] | None = None
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("c"):
+                continue
+            parts = line.split()
+            if parts[0] == "p":
+                if len(parts) != 4 or parts[1] != "sp":
+                    raise GraphError(f"{path}:{lineno}: bad problem line")
+                declared = (int(parts[2]), int(parts[3]))
+            elif parts[0] == "a":
+                if len(parts) != 4:
+                    raise GraphError(f"{path}:{lineno}: bad arc line")
+                g.add_edge(int(parts[1]), int(parts[2]), float(parts[3]))
+            else:
+                raise GraphError(f"{path}:{lineno}: unknown record {parts[0]!r}")
+    if declared is not None:
+        for v in range(1, declared[0] + 1):
+            g.add_vertex(v)
+    return g
+
+
+def write_dimacs(graph: Graph, path: str | Path) -> None:
+    """Write a directed graph as DIMACS ``.gr`` (ids must be ints >= 1)."""
+    with open(path, "w") as fh:
+        fh.write(f"p sp {graph.num_vertices} {graph.num_edges}\n")
+        for edge in graph.edges():
+            fh.write(f"a {edge.src} {edge.dst} {edge.weight:g}\n")
+
+
+def read_metis(path: str | Path) -> Graph:
+    """Read a METIS adjacency file as an undirected graph (0-indexed out)."""
+    g = Graph(directed=False)
+    with open(path) as fh:
+        header: list[str] | None = None
+        vid = 0
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("%"):
+                continue
+            if header is None:
+                header = line.split()
+                n = int(header[0])
+                for v in range(n):
+                    g.add_vertex(v)
+                continue
+            for nbr in line.split():
+                g.add_edge(vid, int(nbr) - 1)
+            vid += 1
+    return g
+
+
+def write_metis(graph: Graph, path: str | Path) -> None:
+    """Write undirected adjacency in METIS format (vertices relabelled)."""
+    order = {v: i for i, v in enumerate(graph.vertices())}
+    lines = []
+    seen = set()
+    for v in graph.vertices():
+        nbrs = [order[u] + 1 for u in graph.neighbors(v)]
+        lines.append(" ".join(str(x) for x in sorted(nbrs)))
+        for u in graph.neighbors(v):
+            seen.add(frozenset((order[v], order[u])))
+    with open(path, "w") as fh:
+        fh.write(f"{graph.num_vertices} {len(seen)}\n")
+        fh.write("\n".join(lines) + "\n")
+
+
+def to_json_dict(graph: Graph) -> dict:
+    """Serializable dict capturing the full property graph."""
+    return {
+        "directed": graph.directed,
+        "vertices": [
+            {
+                "id": v,
+                "label": graph.vertex_label(v),
+                "props": graph.vertex_props(v),
+            }
+            for v in graph.vertices()
+        ],
+        "edges": [
+            {
+                "src": e.src,
+                "dst": e.dst,
+                "weight": e.weight,
+                "label": e.label,
+            }
+            for e in graph.edges()
+        ],
+    }
+
+
+def from_json_dict(data: dict) -> Graph:
+    """Inverse of :func:`to_json_dict`."""
+    g = Graph(directed=data.get("directed", True))
+    for rec in data["vertices"]:
+        g.add_vertex(rec["id"], rec.get("label"), **rec.get("props", {}))
+    for rec in data["edges"]:
+        g.add_edge(
+            rec["src"], rec["dst"], rec.get("weight", 1.0), rec.get("label")
+        )
+    return g
+
+
+def write_json(graph: Graph, path: str | Path) -> None:
+    """Write the property graph as JSON to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(to_json_dict(graph), fh)
+
+
+def read_json(path: str | Path) -> Graph:
+    """Read a property graph from JSON at ``path``."""
+    with open(path) as fh:
+        return from_json_dict(json.load(fh))
+
+
+def from_edges(
+    pairs: Iterable[tuple], directed: bool = True, weighted: bool = False
+) -> Graph:
+    """Build a graph from (src, dst) or (src, dst, weight) tuples."""
+    g = Graph(directed=directed)
+    for item in pairs:
+        if weighted or len(item) == 3:
+            src, dst, weight = item
+            g.add_edge(src, dst, weight)
+        else:
+            src, dst = item
+            g.add_edge(src, dst)
+    return g
+
+
+def _parse_id(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        return token

@@ -1,0 +1,76 @@
+"""Vertex-indexed property maps.
+
+Algorithm outputs (distances, component ids, match sets) are represented
+as :class:`PropertyMap` — a thin dict wrapper with a default value, a name
+and merge helpers used by Assemble when combining partial answers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterator, Mapping
+
+VertexId = Hashable
+
+
+class PropertyMap:
+    """A named vertex -> value map with a default for absent vertices."""
+
+    def __init__(
+        self,
+        name: str,
+        default: object = None,
+        data: Mapping[VertexId, object] | None = None,
+    ) -> None:
+        self.name = name
+        self.default = default
+        self._data: dict[VertexId, object] = dict(data or {})
+
+    def __getitem__(self, v: VertexId) -> object:
+        return self._data.get(v, self.default)
+
+    def __setitem__(self, v: VertexId, value: object) -> None:
+        self._data[v] = value
+
+    def __contains__(self, v: VertexId) -> bool:
+        return v in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[VertexId]:
+        return iter(self._data)
+
+    def get(self, v: VertexId, default: object = None) -> object:
+        """Value for ``v`` (or ``default``)."""
+        return self._data.get(v, default)
+
+    def items(self) -> Iterator[tuple[VertexId, object]]:
+        """Iterate stored ``(vertex, value)`` pairs."""
+        return iter(self._data.items())
+
+    def as_dict(self) -> dict[VertexId, object]:
+        """Copy of the stored mapping as a plain dict."""
+        return dict(self._data)
+
+    def merge(
+        self,
+        other: "PropertyMap",
+        resolve: Callable[[object, object], object] | None = None,
+    ) -> "PropertyMap":
+        """Union with ``other``; conflicts resolved by ``resolve`` (default:
+        other wins), returning a new map."""
+        out = PropertyMap(self.name, self.default, self._data)
+        for v, value in other.items():
+            if v in out._data and resolve is not None:
+                out._data[v] = resolve(out._data[v], value)
+            else:
+                out._data[v] = value
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PropertyMap):
+            return NotImplemented
+        return self._data == other._data and self.default == other.default
+
+    def __repr__(self) -> str:
+        return f"<PropertyMap {self.name!r} n={len(self._data)}>"

@@ -1,0 +1,62 @@
+"""Derived graph views: ego networks and filtered copies."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Hashable
+
+from repro.graph.digraph import Graph
+
+VertexId = Hashable
+
+
+def ego_subgraph(graph: Graph, center: VertexId, radius: int) -> Graph:
+    """Induced subgraph of everything within ``radius`` hops of ``center``.
+
+    Hops follow edges in *either* direction, matching the locality a
+    pattern query with designated node ``x`` touches (used by the GPAR
+    matcher to bound work per candidate).
+    """
+    seen = {center: 0}
+    queue = deque([center])
+    while queue:
+        v = queue.popleft()
+        if seen[v] == radius:
+            continue
+        for u in graph.neighbors(v):
+            if u not in seen:
+                seen[u] = seen[v] + 1
+                queue.append(u)
+    return graph.subgraph(seen)
+
+
+def filter_vertices(
+    graph: Graph, predicate: Callable[[VertexId], bool]
+) -> Graph:
+    """Induced subgraph over vertices satisfying ``predicate``."""
+    return graph.subgraph(v for v in graph.vertices() if predicate(v))
+
+
+def filter_by_label(graph: Graph, labels: set[str]) -> Graph:
+    """Induced subgraph over vertices whose label is in ``labels``."""
+    return filter_vertices(graph, lambda v: graph.vertex_label(v) in labels)
+
+
+def largest_connected_component(graph: Graph) -> Graph:
+    """Induced subgraph of the largest weakly connected component."""
+    remaining = set(graph.vertices())
+    best: set[VertexId] = set()
+    while remaining:
+        start = next(iter(remaining))
+        comp = {start}
+        queue = deque([start])
+        while queue:
+            v = queue.popleft()
+            for u in graph.neighbors(v):
+                if u not in comp:
+                    comp.add(u)
+                    queue.append(u)
+        remaining -= comp
+        if len(comp) > len(best):
+            best = comp
+    return graph.subgraph(best)

@@ -1,0 +1,92 @@
+"""Partitioner interface and partition quality evaluation."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+from repro.errors import PartitionError
+from repro.graph.digraph import Graph
+from repro.graph.metrics import edge_cut, partition_balance
+
+VertexId = Hashable
+Assignment = dict[VertexId, int]
+
+
+class Partitioner(abc.ABC):
+    """A strategy mapping every vertex to a fragment id in ``[0, n)``.
+
+    Subclasses implement :meth:`partition`; :meth:`__call__` validates the
+    result (totality and id range), so engine code can trust assignments.
+    """
+
+    #: Registry name; subclasses override.
+    name = "abstract"
+
+    @abc.abstractmethod
+    def partition(self, graph: Graph, num_parts: int) -> Assignment:
+        """Compute the vertex -> fragment assignment."""
+
+    def __call__(self, graph: Graph, num_parts: int) -> Assignment:
+        if num_parts < 1:
+            raise PartitionError("num_parts must be >= 1")
+        assignment = self.partition(graph, num_parts)
+        missing = [v for v in graph.vertices() if v not in assignment]
+        if missing:
+            raise PartitionError(
+                f"{self.name}: {len(missing)} unassigned vertices "
+                f"(first: {missing[:3]})"
+            )
+        bad = [v for v, f in assignment.items() if not 0 <= f < num_parts]
+        if bad:
+            raise PartitionError(
+                f"{self.name}: out-of-range fragment ids for {bad[:3]}"
+            )
+        return assignment
+
+    def __repr__(self) -> str:
+        return f"<Partitioner {self.name}>"
+
+
+@dataclass(frozen=True)
+class PartitionReport:
+    """Quality metrics of one partition (what Fig. 3(2)'s picker shows)."""
+
+    strategy: str
+    num_parts: int
+    num_vertices: int
+    num_edges: int
+    cut_edges: int
+    balance: float
+
+    @property
+    def cut_fraction(self) -> float:
+        """Cut edges as a fraction of all edges."""
+        if self.num_edges == 0:
+            return 0.0
+        return self.cut_edges / self.num_edges
+
+    def __str__(self) -> str:
+        return (
+            f"{self.strategy}: parts={self.num_parts} "
+            f"cut={self.cut_edges}/{self.num_edges} "
+            f"({self.cut_fraction:.1%}) balance={self.balance:.3f}"
+        )
+
+
+def evaluate_partition(
+    graph: Graph,
+    assignment: Mapping[VertexId, int],
+    num_parts: int,
+    strategy: str = "unknown",
+) -> PartitionReport:
+    """Compute the quality report for an assignment."""
+    return PartitionReport(
+        strategy=strategy,
+        num_parts=num_parts,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        cut_edges=edge_cut(graph, assignment),
+        balance=partition_balance(graph, assignment, num_parts),
+    )

@@ -1,0 +1,16 @@
+"""Multilevel graph partitioning (METIS-equivalent, from scratch).
+
+Three phases, one module each:
+
+* :mod:`coarsen` — heavy-edge matching collapses the graph level by level;
+* :mod:`initial` — greedy region growing partitions the coarsest graph;
+* :mod:`refine` — Fiduccia–Mattheyses-style boundary moves improve the
+  cut while projecting the partition back through the levels.
+
+:mod:`driver` wires the phases into a
+:class:`~repro.partition.base.Partitioner`.
+"""
+
+from repro.partition.multilevel.driver import MultilevelPartitioner
+
+__all__ = ["MultilevelPartitioner"]

@@ -1,0 +1,168 @@
+"""Coarsening phase: heavy-edge matching.
+
+The partitioner works on a *work graph* — an undirected weighted view
+with integer vertex weights (how many original vertices a node
+represents) and edge weights (how many original edges a coarse edge
+collapses). Each level matches vertices to their heaviest unmatched
+neighbor and contracts matched pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.graph.digraph import Graph
+from repro.utils.rng import make_rng
+
+VertexId = Hashable
+
+
+@dataclass
+class WorkGraph:
+    """Undirected weighted graph used internally by the partitioner."""
+
+    adj: dict[int, dict[int, float]] = field(default_factory=dict)
+    vweight: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self.adj)
+
+    def add_vertex(self, v: int, weight: int = 1) -> None:
+        """Register vertex ``v`` with the given weight."""
+        if v not in self.adj:
+            self.adj[v] = {}
+            self.vweight[v] = weight
+
+    def add_edge_weight(self, u: int, v: int, w: float) -> None:
+        """Accumulate undirected edge weight between u and v."""
+        if u == v:
+            return
+        self.add_vertex(u)
+        self.add_vertex(v)
+        self.adj[u][v] = self.adj[u].get(v, 0.0) + w
+        self.adj[v][u] = self.adj[v].get(u, 0.0) + w
+
+    def total_vertex_weight(self) -> int:
+        """Sum of all vertex weights."""
+        return sum(self.vweight.values())
+
+
+def make_work_graph(graph: Graph) -> tuple[WorkGraph, dict[VertexId, int]]:
+    """Convert an arbitrary Graph to a dense-id undirected work graph.
+
+    Returns the work graph and the original-id -> work-id map.
+    """
+    ids = {v: i for i, v in enumerate(graph.vertices())}
+    wg = WorkGraph()
+    for v, i in ids.items():
+        wg.add_vertex(i)
+    for edge in graph.edges():
+        wg.add_edge_weight(ids[edge.src], ids[edge.dst], 1.0)
+    return wg, ids
+
+
+@dataclass
+class Level:
+    """One coarsening level: the coarse graph and fine -> coarse map."""
+
+    graph: WorkGraph
+    fine_to_coarse: dict[int, int]
+
+
+def heavy_edge_matching(
+    wg: WorkGraph, seed: int | None = 0
+) -> dict[int, int]:
+    """Match each vertex with its best unmatched neighbor.
+
+    The score is the edge weight plus a common-neighbor bonus: on graphs
+    whose first-level edge weights carry no signal (all 1.0), plain
+    heavy-edge matching merges across communities at the rate of the
+    inter-edge fraction and the mistake is locked in for all coarser
+    levels. Shared-neighborhood similarity is the standard corrective —
+    vertices in the same dense community share many neighbors, vertices
+    joined by a stray cross edge share almost none.
+
+    Returns vertex -> coarse-vertex id (matched pairs share an id).
+    Visiting order is randomized to avoid pathological chains.
+    """
+    rng = make_rng(seed, "hem", wg.num_vertices)
+    order = list(wg.adj)
+    rng.shuffle(order)
+    matched: dict[int, int] = {}
+    next_coarse = 0
+    for v in order:
+        if v in matched:
+            continue
+        v_nbrs = wg.adj[v]
+        best_u = None
+        best_score = -1.0
+        for u, w in v_nbrs.items():
+            if u in matched:
+                continue
+            u_nbrs = wg.adj[u]
+            # iterate the smaller adjacency for the intersection
+            small, large = (
+                (v_nbrs, u_nbrs)
+                if len(v_nbrs) <= len(u_nbrs)
+                else (u_nbrs, v_nbrs)
+            )
+            common = sum(cw for c, cw in small.items() if c in large)
+            score = w * (1.0 + common)
+            if score > best_score:
+                best_score, best_u = score, u
+        matched[v] = next_coarse
+        if best_u is not None:
+            matched[best_u] = next_coarse
+        next_coarse += 1
+    return matched
+
+
+def contract(wg: WorkGraph, matching: dict[int, int]) -> WorkGraph:
+    """Build the coarse work graph induced by a matching."""
+    coarse = WorkGraph()
+    for v, cv in matching.items():
+        coarse.add_vertex(cv, 0)
+        coarse.vweight[cv] += wg.vweight[v]
+    for v, nbrs in wg.adj.items():
+        cv = matching[v]
+        for u, w in nbrs.items():
+            cu = matching[u]
+            if cv < cu:  # each undirected pair once
+                coarse.add_edge_weight(cv, cu, w)
+    return coarse
+
+
+def coarsen(
+    wg: WorkGraph,
+    target_size: int,
+    seed: int | None = 0,
+    min_shrink: float = 0.95,
+    max_levels: int = 40,
+) -> list[Level]:
+    """Repeatedly match-and-contract until the graph is small enough.
+
+    Stops when the coarsest graph has at most ``target_size`` vertices,
+    when matching stops shrinking the graph (shrink factor above
+    ``min_shrink``), or after ``max_levels`` levels.
+    """
+    levels: list[Level] = []
+    current = wg
+    for level_idx in range(max_levels):
+        if current.num_vertices <= target_size:
+            break
+        matching = heavy_edge_matching(current, seed=_mix(seed, level_idx))
+        coarse = contract(current, matching)
+        if coarse.num_vertices >= current.num_vertices * min_shrink:
+            break
+        levels.append(Level(graph=coarse, fine_to_coarse=matching))
+        current = coarse
+    return levels
+
+
+def _mix(seed: int | None, level: int) -> int | None:
+    if seed is None:
+        return None
+    return seed * 1000003 + level

@@ -1,0 +1,27 @@
+"""Simulated cluster runtime (the MPI Controller layer of Fig. 2).
+
+The paper's prototype runs on MPICH2 across Aliyun ECS nodes. Here a
+:class:`~repro.runtime.cluster.Cluster` hosts ``n`` in-process workers
+plus a coordinator, exchanging messages through a simulated MPI
+controller that meters bytes and message counts, while a
+:class:`~repro.runtime.costmodel.CostModel` converts measured per-worker
+compute time and metered traffic into simulated BSP wall-clock time
+(per-superstep makespan + network time). See DESIGN.md §2 for why this
+substitution preserves the paper's relative results.
+"""
+
+from repro.runtime.cluster import Cluster
+from repro.runtime.costmodel import CostModel
+from repro.runtime.message import COORDINATOR, Message
+from repro.runtime.metrics import RunMetrics, SuperstepMetrics
+from repro.runtime.mpi_sim import MPIController
+
+__all__ = [
+    "Cluster",
+    "CostModel",
+    "COORDINATOR",
+    "Message",
+    "MPIController",
+    "RunMetrics",
+    "SuperstepMetrics",
+]

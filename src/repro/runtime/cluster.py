@@ -1,0 +1,130 @@
+"""The simulated cluster: workers + coordinator + metering glue.
+
+Engines drive the cluster through a small protocol::
+
+    cluster = Cluster(num_workers=4)
+    with cluster.superstep("peval") as step:
+        for wid in range(cluster.num_workers):
+            with step.compute(wid):
+                ...  # run worker-local sequential code
+            step.send(wid, COORDINATOR, payload)
+    # metrics now include the superstep's makespan + traffic
+
+A GRAPE superstep contains *two* exchanges — coordinator routes messages
+to workers, workers reply with changed parameters — so
+:class:`SuperstepHandle` supports an intermediate :meth:`deliver` whose
+traffic is accounted to the same superstep.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.runtime.costmodel import CostModel
+from repro.runtime.message import COORDINATOR, Message
+from repro.runtime.metrics import RunMetrics, SuperstepMetrics
+from repro.runtime.mpi_sim import MPIController
+
+
+class SuperstepHandle:
+    """Accounting context for one BSP superstep."""
+
+    def __init__(self, cluster: "Cluster", phase: str) -> None:
+        self._cluster = cluster
+        self.phase = phase
+        self.index = len(cluster.metrics.supersteps)
+        self._compute: dict[int, float] = {}
+        self._bytes = 0
+        self._messages = 0
+        self._pairs = 0
+
+    @contextmanager
+    def compute(self, worker: int) -> Iterator[None]:
+        """Measure a worker's (or the coordinator's) compute interval."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._compute[worker] = self._compute.get(worker, 0.0) + elapsed
+
+    def charge(self, worker: int, seconds: float) -> None:
+        """Add pre-measured compute seconds for ``worker``."""
+        self._compute[worker] = self._compute.get(worker, 0.0) + seconds
+
+    def send(self, src: int, dst: int, payload: object) -> Message:
+        """Send a message for delivery in the next superstep."""
+        return self._cluster.mpi.send(src, dst, payload)
+
+    def deliver(self) -> None:
+        """Mid-superstep flush: deliver queued messages now.
+
+        Traffic is still charged to this superstep; use it when the
+        coordinator's routed messages must reach workers within the same
+        BSP round (the paper's step (a) then step (b)).
+        """
+        traffic = self._cluster.mpi.flush()
+        self._bytes += traffic.bytes_sent
+        self._messages += traffic.messages_sent
+        self._pairs += traffic.communicating_pairs
+
+    def finish(self) -> SuperstepMetrics:
+        """Barrier: flush traffic, compute simulated time, record metrics."""
+        self.deliver()
+        worker_times = [
+            t for w, t in self._compute.items() if w != COORDINATOR
+        ]
+        makespan = max(worker_times, default=0.0)
+        # Coordinator work is serialized with the workers' barrier.
+        makespan += self._compute.get(COORDINATOR, 0.0)
+        metrics = SuperstepMetrics(
+            index=self.index,
+            phase=self.phase,
+            compute_makespan=makespan,
+            compute_total=sum(self._compute.values()),
+            bytes_sent=self._bytes,
+            messages_sent=self._messages,
+            simulated_time=self._cluster.cost_model.superstep_time(
+                makespan, self._bytes, self._pairs
+            ),
+            active_workers=len(worker_times),
+        )
+        self._cluster.metrics.add_superstep(metrics)
+        for worker, seconds in self._compute.items():
+            self._cluster.metrics.charge_worker(worker, seconds)
+        return metrics
+
+
+class Cluster:
+    """``n`` simulated workers plus coordinator ``P0``."""
+
+    def __init__(
+        self,
+        num_workers: int,
+        cost_model: CostModel | None = None,
+        engine_name: str = "",
+    ) -> None:
+        self.num_workers = num_workers
+        self.cost_model = cost_model or CostModel()
+        self.mpi = MPIController(num_workers)
+        self.metrics = RunMetrics(engine=engine_name, num_workers=num_workers)
+
+    @contextmanager
+    def superstep(self, phase: str) -> Iterator[SuperstepHandle]:
+        """Open a superstep; on exit the barrier flushes and is metered."""
+        handle = SuperstepHandle(self, phase)
+        yield handle
+        handle.finish()
+
+    def receive(self, rank: int) -> list[Message]:
+        """Drain and return the inbox of ``rank``."""
+        return self.mpi.receive(rank)
+
+    def reset_metrics(self, engine_name: str = "") -> None:
+        """Start fresh metrics (optionally renaming the engine)."""
+        self.metrics = RunMetrics(
+            engine=engine_name or self.metrics.engine,
+            num_workers=self.num_workers,
+        )

@@ -1,0 +1,59 @@
+"""Deterministic cost model turning measured work into simulated time.
+
+A BSP superstep on a real cluster costs::
+
+    makespan = max_i(compute_i) + network(total_bytes, n_messages) + barrier
+
+We charge:
+
+* ``compute_i`` — *measured* wall time of worker ``i``'s sequential
+  computation this superstep (real Python execution, not an estimate),
+  scaled by ``compute_scale`` (1.0 by default);
+* network time — ``latency`` per communicating round plus
+  ``bytes / bandwidth``; message batches between the same pair of hosts
+  share the round latency, as MPI implementations do;
+* ``barrier`` — fixed synchronization overhead per superstep.
+
+Defaults approximate a commodity 1 Gb/s cluster. Absolute simulated
+seconds are not meant to match the paper's testbed; *ratios* between
+engines/configurations are the reproduction target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Parameters of the simulated cluster's performance."""
+
+    #: Seconds of latency charged once per superstep in which any pair of
+    #: hosts communicates.
+    latency: float = 1e-3
+    #: Network bandwidth in bytes/second (shared, as on one switch).
+    bandwidth: float = 125e6  # 1 Gb/s
+    #: Fixed BSP barrier overhead per superstep, seconds.
+    barrier_overhead: float = 5e-4
+    #: Multiplier applied to measured Python compute time.
+    compute_scale: float = 1.0
+
+    def network_time(self, total_bytes: int, rounds: int) -> float:
+        """Simulated seconds to move ``total_bytes`` in ``rounds`` batches."""
+        if total_bytes <= 0 and rounds <= 0:
+            return 0.0
+        lat = self.latency if rounds > 0 else 0.0
+        return lat + total_bytes / self.bandwidth
+
+    def superstep_time(
+        self,
+        compute_makespan: float,
+        total_bytes: int,
+        rounds: int,
+    ) -> float:
+        """Simulated duration of one superstep."""
+        return (
+            self.compute_scale * compute_makespan
+            + self.network_time(total_bytes, rounds)
+            + self.barrier_overhead
+        )

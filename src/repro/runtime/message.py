@@ -1,0 +1,26 @@
+"""Messages exchanged through the simulated MPI controller."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.sizeof import message_size
+
+#: Rank of the coordinator P0 in the simulated cluster.
+COORDINATOR = -1
+
+
+@dataclass(frozen=True)
+class Message:
+    """One point-to-point message with its accounted wire size."""
+
+    src: int
+    dst: int
+    payload: object
+    size: int = field(default=0)
+
+    @staticmethod
+    def make(src: int, dst: int, payload: object) -> "Message":
+        """Build a message, computing its wire size once."""
+        return Message(src=src, dst=dst, payload=payload,
+                       size=message_size(payload))

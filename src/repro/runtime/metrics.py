@@ -1,0 +1,109 @@
+"""Run metrics: the numbers the demo's analytics panel (Fig. 3(4)) shows.
+
+Per superstep we record compute makespan, total compute, bytes, message
+counts and which phase (PEval / IncEval / Assemble) the superstep
+belonged to; totals and a per-phase breakdown are derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SuperstepMetrics:
+    """Accounting for one BSP superstep."""
+
+    index: int
+    phase: str
+    compute_makespan: float = 0.0
+    compute_total: float = 0.0
+    bytes_sent: int = 0
+    messages_sent: int = 0
+    simulated_time: float = 0.0
+    active_workers: int = 0
+
+
+@dataclass
+class RunMetrics:
+    """Aggregated accounting for one engine run."""
+
+    engine: str = ""
+    num_workers: int = 0
+    supersteps: list[SuperstepMetrics] = field(default_factory=list)
+    worker_compute: dict[int, float] = field(default_factory=dict)
+
+    def add_superstep(self, step: SuperstepMetrics) -> None:
+        """Append one superstep's metrics."""
+        self.supersteps.append(step)
+
+    def charge_worker(self, worker: int, seconds: float) -> None:
+        """Accumulate compute seconds for ``worker``."""
+        self.worker_compute[worker] = (
+            self.worker_compute.get(worker, 0.0) + seconds
+        )
+
+    # ------------------------------------------------------------------
+    # Derived totals
+    # ------------------------------------------------------------------
+    @property
+    def num_supersteps(self) -> int:
+        """Number of BSP supersteps executed."""
+        return len(self.supersteps)
+
+    @property
+    def total_time(self) -> float:
+        """Simulated wall-clock of the whole run (seconds)."""
+        return sum(s.simulated_time for s in self.supersteps)
+
+    @property
+    def total_compute(self) -> float:
+        """Sum of all workers' compute seconds."""
+        return sum(s.compute_total for s in self.supersteps)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes shipped across all supersteps."""
+        return sum(s.bytes_sent for s in self.supersteps)
+
+    @property
+    def total_messages(self) -> int:
+        """Total messages sent across all supersteps."""
+        return sum(s.messages_sent for s in self.supersteps)
+
+    @property
+    def communication_mb(self) -> float:
+        """Communication volume in MB — Table 1's 'Comm.(MB)' column."""
+        return self.total_bytes / 1e6
+
+    def phase_time(self, phase: str) -> float:
+        """Simulated time spent in supersteps of ``phase``."""
+        return sum(
+            s.simulated_time for s in self.supersteps if s.phase == phase
+        )
+
+    def phase_breakdown(self) -> dict[str, float]:
+        """Phase -> simulated seconds (PEval vs IncEval vs Assemble)."""
+        out: dict[str, float] = {}
+        for s in self.supersteps:
+            out[s.phase] = out.get(s.phase, 0.0) + s.simulated_time
+        return out
+
+    def load_imbalance(self) -> float:
+        """Max worker compute over mean (1.0 = perfectly balanced)."""
+        if not self.worker_compute:
+            return 1.0
+        values = list(self.worker_compute.values())
+        mean = sum(values) / len(values)
+        if mean == 0:
+            return 1.0
+        return max(values) / mean
+
+    def summary(self) -> str:
+        """One-line human-readable summary of the run."""
+        return (
+            f"{self.engine}: time={self.total_time:.4f}s "
+            f"supersteps={self.num_supersteps} "
+            f"comm={self.communication_mb:.4f}MB "
+            f"msgs={self.total_messages}"
+        )

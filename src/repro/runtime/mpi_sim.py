@@ -1,0 +1,91 @@
+"""Simulated MPI controller: mailboxes, superstep flush, byte metering.
+
+Ranks ``0..n-1`` are workers; rank :data:`~repro.runtime.message.COORDINATOR`
+is the coordinator ``P0``. Messages posted during a superstep are
+invisible until :meth:`MPIController.flush`, which models the BSP barrier:
+it moves outgoing messages into destination inboxes and returns traffic
+statistics for the superstep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RuntimeErrorGrape
+from repro.runtime.message import COORDINATOR, Message
+
+
+@dataclass(frozen=True)
+class TrafficStats:
+    """Bytes/messages moved at one flush (one superstep's traffic)."""
+
+    bytes_sent: int
+    messages_sent: int
+    communicating_pairs: int
+
+
+class MPIController:
+    """In-process stand-in for MPICH2 point-to-point messaging."""
+
+    def __init__(self, num_workers: int) -> None:
+        if num_workers < 1:
+            raise RuntimeErrorGrape("cluster needs at least one worker")
+        self.num_workers = num_workers
+        self._outgoing: list[Message] = []
+        self._inboxes: dict[int, list[Message]] = {
+            rank: [] for rank in range(num_workers)
+        }
+        self._inboxes[COORDINATOR] = []
+
+    def _check_rank(self, rank: int) -> None:
+        if rank != COORDINATOR and not 0 <= rank < self.num_workers:
+            raise RuntimeErrorGrape(f"invalid rank {rank}")
+
+    def send(self, src: int, dst: int, payload: object) -> Message:
+        """Queue a message for delivery at the next flush."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        msg = Message.make(src, dst, payload)
+        self._outgoing.append(msg)
+        return msg
+
+    def flush(self) -> TrafficStats:
+        """Barrier: deliver queued messages; return traffic stats.
+
+        Messages between co-located ranks still count as messages (the
+        paper's message counts include them) but intra-worker traffic is
+        free of bytes only when src == dst; worker->coordinator and
+        cross-worker messages are charged fully.
+        """
+        bytes_sent = 0
+        pairs: set[tuple[int, int]] = set()
+        count = len(self._outgoing)
+        for msg in self._outgoing:
+            self._inboxes[msg.dst].append(msg)
+            if msg.src != msg.dst:
+                bytes_sent += msg.size
+                pairs.add((msg.src, msg.dst))
+        self._outgoing = []
+        return TrafficStats(
+            bytes_sent=bytes_sent,
+            messages_sent=count,
+            communicating_pairs=len(pairs),
+        )
+
+    def receive(self, rank: int) -> list[Message]:
+        """Drain and return the inbox of ``rank``."""
+        self._check_rank(rank)
+        inbox = self._inboxes[rank]
+        self._inboxes[rank] = []
+        return inbox
+
+    def peek(self, rank: int) -> list[Message]:
+        """Read the inbox without draining (termination checks)."""
+        self._check_rank(rank)
+        return list(self._inboxes[rank])
+
+    def pending(self) -> bool:
+        """True if any rank has undelivered or queued messages."""
+        if self._outgoing:
+            return True
+        return any(box for box in self._inboxes.values())

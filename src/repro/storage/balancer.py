@@ -1,0 +1,128 @@
+"""Load Balancer — workload-estimate-driven rebalancing (Fig. 2).
+
+The balancer consumes either static estimates (vertices/edges per
+fragment) or measured per-worker compute time from a previous run
+(:attr:`~repro.runtime.metrics.RunMetrics.worker_compute`) and proposes
+moves of boundary vertices from overloaded to underloaded fragments.
+Rebalancing preserves assignment validity; callers rebuild fragments
+from the returned assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+from repro.graph.digraph import Graph
+
+VertexId = Hashable
+
+
+@dataclass(frozen=True)
+class WorkloadEstimate:
+    """Per-fragment load estimate (arbitrary non-negative units)."""
+
+    loads: tuple[float, ...]
+
+    @property
+    def imbalance(self) -> float:
+        """Max load over mean load (1.0 = balanced)."""
+        if not self.loads or max(self.loads) == 0:
+            return 1.0
+        mean = sum(self.loads) / len(self.loads)
+        return max(self.loads) / mean if mean else 1.0
+
+    @staticmethod
+    def from_assignment(
+        graph: Graph, assignment: Mapping[VertexId, int], parts: int,
+        edge_weight: float = 1.0,
+    ) -> "WorkloadEstimate":
+        """Static estimate: vertices + edge_weight * out-edges per part."""
+        loads = [0.0] * parts
+        for v in graph.vertices():
+            loads[assignment[v]] += 1.0 + edge_weight * graph.out_degree(v)
+        return WorkloadEstimate(tuple(loads))
+
+    @staticmethod
+    def from_measured(
+        worker_compute: Mapping[int, float], parts: int
+    ) -> "WorkloadEstimate":
+        """Estimate from a previous run's per-worker compute seconds."""
+        return WorkloadEstimate(
+            tuple(worker_compute.get(w, 0.0) for w in range(parts))
+        )
+
+
+class LoadBalancer:
+    """Greedy boundary-vertex migration toward balanced loads."""
+
+    def __init__(self, tolerance: float = 1.1) -> None:
+        #: accept imbalance up to ``tolerance`` x mean without moving.
+        self.tolerance = tolerance
+
+    def rebalance(
+        self,
+        graph: Graph,
+        assignment: Mapping[VertexId, int],
+        parts: int,
+        estimate: WorkloadEstimate | None = None,
+        max_moves: int | None = None,
+    ) -> dict[VertexId, int]:
+        """Return a (possibly) improved assignment.
+
+        Boundary vertices of the most loaded fragments move to their
+        least-loaded neighboring fragment while the source stays above
+        the mean. Each vertex's load contribution follows the static
+        vertex+edges estimate (measured time cannot be attributed to
+        single vertices).
+        """
+        new_assignment = dict(assignment)
+        contribution = {
+            v: 1.0 + graph.out_degree(v) for v in graph.vertices()
+        }
+        loads = [0.0] * parts
+        for v, fid in new_assignment.items():
+            loads[fid] += contribution[v]
+        if estimate is not None and len(estimate.loads) == parts:
+            # Scale static contributions so totals match the estimate.
+            for fid in range(parts):
+                static = sum(
+                    contribution[v]
+                    for v, f in new_assignment.items()
+                    if f == fid
+                )
+                if static > 0 and estimate.loads[fid] > 0:
+                    loads[fid] = estimate.loads[fid]
+        mean = sum(loads) / parts if parts else 0.0
+        if mean == 0:
+            return new_assignment
+        moves = 0
+        budget = max_moves if max_moves is not None else graph.num_vertices
+        # Repeatedly peel boundary vertices off the heaviest part.
+        progress = True
+        while progress and moves < budget:
+            progress = False
+            heavy = max(range(parts), key=lambda f: loads[f])
+            if loads[heavy] <= mean * self.tolerance:
+                break
+            for v in list(graph.vertices()):
+                if new_assignment[v] != heavy:
+                    continue
+                nbr_parts = {
+                    new_assignment[u]
+                    for u in graph.neighbors(v)
+                    if new_assignment[u] != heavy
+                }
+                if not nbr_parts:
+                    continue
+                target = min(nbr_parts, key=lambda f: loads[f])
+                if loads[target] + contribution[v] >= loads[heavy]:
+                    continue
+                new_assignment[v] = target
+                loads[heavy] -= contribution[v]
+                loads[target] += contribution[v]
+                moves += 1
+                progress = True
+                if loads[heavy] <= mean * self.tolerance or moves >= budget:
+                    break
+        return new_assignment

@@ -1,0 +1,171 @@
+"""Catalog of graphs and partitions stored in the simulated DFS."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+from repro.errors import StorageError
+from repro.graph.digraph import Graph
+from repro.graph.fragment import FragmentedGraph
+from repro.storage.dfs import SimulatedDFS
+from repro.storage.serializer import (
+    fragmented_from_dict,
+    fragmented_to_dict,
+    graph_from_bytes,
+    graph_to_bytes,
+)
+
+
+@dataclass(frozen=True)
+class StoredGraph:
+    """Catalog record for one stored graph."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    directed: bool
+    partitions: tuple[str, ...] = ()
+
+
+class Catalog:
+    """Named storage of graphs and their partitions on a DFS."""
+
+    _META = "catalog/meta.json"
+
+    def __init__(self, dfs: SimulatedDFS) -> None:
+        self.dfs = dfs
+
+    # ------------------------------------------------------------------
+    def _load_meta(self) -> dict[str, dict]:
+        if self.dfs.exists(self._META):
+            return self.dfs.get_json(self._META)  # type: ignore[return-value]
+        return {}
+
+    def _save_meta(self, meta: dict[str, dict]) -> None:
+        self.dfs.put_json(self._META, meta)
+
+    # ------------------------------------------------------------------
+    def save_graph(
+        self, name: str, graph: Graph, format: str = "auto"
+    ) -> StoredGraph:
+        """Persist a graph under ``name`` (overwrites).
+
+        Formats: ``"json"`` (full property graph), ``"compressed"``
+        (delta-varint codec — int ids, labels, weights; no property
+        dicts), or ``"auto"`` (compressed when the codec supports the
+        graph, JSON otherwise).
+        """
+        from repro.storage.compression import encode_graph
+
+        if format not in ("auto", "json", "compressed"):
+            raise StorageError(f"unknown graph format {format!r}")
+        payload: bytes | None = None
+        chosen = "json"
+        if format in ("auto", "compressed"):
+            try:
+                payload = encode_graph(graph)
+                chosen = "compressed"
+            except StorageError:
+                if format == "compressed":
+                    raise
+        if payload is None:
+            payload = graph_to_bytes(graph)
+        self.dfs.delete(f"graphs/{name}/graph.json")
+        self.dfs.delete(f"graphs/{name}/graph.bin")
+        ext = "bin" if chosen == "compressed" else "json"
+        self.dfs.put(f"graphs/{name}/graph.{ext}", payload)
+        meta = self._load_meta()
+        record = StoredGraph(
+            name=name,
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+            directed=graph.directed,
+            partitions=tuple(meta.get(name, {}).get("partitions", ())),
+        )
+        meta[name] = asdict(record)
+        self._save_meta(meta)
+        return record
+
+    def load_graph(self, name: str) -> Graph:
+        """Load a stored graph by name (StorageError if absent)."""
+        from repro.storage.compression import decode_graph
+
+        if self.dfs.exists(f"graphs/{name}/graph.bin"):
+            return decode_graph(self.dfs.get(f"graphs/{name}/graph.bin"))
+        if not self.dfs.exists(f"graphs/{name}/graph.json"):
+            raise StorageError(f"graph {name!r} not in catalog")
+        return graph_from_bytes(self.dfs.get(f"graphs/{name}/graph.json"))
+
+    def save_partition(
+        self, graph_name: str, partition_name: str, fragmented: FragmentedGraph
+    ) -> None:
+        """Persist a partition of a stored graph, one file per fragment."""
+        meta = self._load_meta()
+        if graph_name not in meta:
+            raise StorageError(f"graph {graph_name!r} not in catalog")
+        base = f"graphs/{graph_name}/partitions/{partition_name}"
+        payload = fragmented_to_dict(fragmented)
+        self.dfs.put_json(f"{base}/assignment.json", {
+            "strategy": payload["strategy"],
+            "assignment": payload["assignment"],
+            "num_fragments": len(payload["fragments"]),
+        })
+        for frag in payload["fragments"]:
+            self.dfs.put_json(f"{base}/fragment-{frag['fid']}.json", frag)
+        partitions = set(meta[graph_name].get("partitions", ()))
+        partitions.add(partition_name)
+        meta[graph_name]["partitions"] = sorted(partitions)
+        self._save_meta(meta)
+
+    def load_partition(
+        self, graph_name: str, partition_name: str
+    ) -> FragmentedGraph:
+        """Load a stored partition (StorageError if absent)."""
+        base = f"graphs/{graph_name}/partitions/{partition_name}"
+        if not self.dfs.exists(f"{base}/assignment.json"):
+            raise StorageError(
+                f"partition {partition_name!r} of {graph_name!r} not found"
+            )
+        head = self.dfs.get_json(f"{base}/assignment.json")
+        fragments = [
+            self.dfs.get_json(f"{base}/fragment-{fid}.json")
+            for fid in range(head["num_fragments"])  # type: ignore[index]
+        ]
+        return fragmented_from_dict(
+            {
+                "strategy": head["strategy"],  # type: ignore[index]
+                "assignment": head["assignment"],  # type: ignore[index]
+                "fragments": fragments,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    def graphs(self) -> list[StoredGraph]:
+        """Catalog records for every stored graph."""
+        meta = self._load_meta()
+        return [
+            StoredGraph(
+                name=rec["name"],
+                num_vertices=rec["num_vertices"],
+                num_edges=rec["num_edges"],
+                directed=rec["directed"],
+                partitions=tuple(rec.get("partitions", ())),
+            )
+            for rec in sorted(meta.values(), key=lambda r: r["name"])
+        ]
+
+    def drop_graph(self, name: str) -> None:
+        """Remove a graph and its partitions from the catalog."""
+        meta = self._load_meta()
+        meta.pop(name, None)
+        self._save_meta(meta)
+        base = f"graphs/{name}"
+        stack = [base]
+        # best-effort recursive delete of the graph's files
+        for sub in ("graph.json",):
+            self.dfs.delete(f"{base}/{sub}")
+        for part in self.dfs.listdir(f"{base}/partitions"):
+            for f in self.dfs.listdir(f"{base}/partitions/{part}"):
+                self.dfs.delete(f"{base}/partitions/{part}/{f}")
+        del stack

@@ -1,0 +1,67 @@
+"""Fragment and graph (de)serialization for the DFS layer."""
+
+from __future__ import annotations
+
+from repro.graph.digraph import Graph
+from repro.graph.fragment import Fragment, FragmentedGraph
+from repro.graph.io import from_json_dict, to_json_dict
+
+
+def fragment_to_dict(fragment: Fragment) -> dict:
+    """JSON-able encoding of a fragment (graph + border bookkeeping)."""
+    return {
+        "fid": fragment.fid,
+        "graph": to_json_dict(fragment.graph),
+        "owned": sorted(fragment.owned, key=repr),
+        "mirrors": [[v, fid] for v, fid in sorted(
+            fragment.mirrors.items(), key=lambda kv: repr(kv[0])
+        )],
+        "inner_border": sorted(fragment.inner_border, key=repr),
+    }
+
+
+def fragment_from_dict(data: dict) -> Fragment:
+    """Inverse of :func:`fragment_to_dict`."""
+    return Fragment(
+        fid=data["fid"],
+        graph=from_json_dict(data["graph"]),
+        owned=set(data["owned"]),
+        mirrors={v: fid for v, fid in data["mirrors"]},
+        inner_border=set(data["inner_border"]),
+    )
+
+
+def fragmented_to_dict(fragmented: FragmentedGraph) -> dict:
+    """JSON-able encoding of a FragmentedGraph."""
+    return {
+        "strategy": fragmented.strategy,
+        "assignment": [[v, f] for v, f in sorted(
+            fragmented.assignment.items(), key=lambda kv: repr(kv[0])
+        )],
+        "fragments": [
+            fragment_to_dict(frag) for frag in fragmented.fragments
+        ],
+    }
+
+
+def fragmented_from_dict(data: dict) -> FragmentedGraph:
+    """Inverse of :func:`fragmented_to_dict`."""
+    return FragmentedGraph(
+        fragments=[fragment_from_dict(f) for f in data["fragments"]],
+        assignment={v: f for v, f in data["assignment"]},
+        strategy=data.get("strategy", "unknown"),
+    )
+
+
+def graph_to_bytes(graph: Graph) -> bytes:
+    """Serialize a graph to JSON bytes."""
+    import json
+
+    return json.dumps(to_json_dict(graph)).encode("utf-8")
+
+
+def graph_from_bytes(data: bytes) -> Graph:
+    """Inverse of :func:`graph_to_bytes`."""
+    import json
+
+    return from_json_dict(json.loads(data.decode("utf-8")))

@@ -1,0 +1,75 @@
+"""Disjoint-set union (union-find) with path compression and union by size.
+
+Used by the sequential connected-components algorithm (the CC PEval), by
+the multilevel partitioner's coarsening phase, and by Blogel's block
+detection.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+
+class DisjointSet:
+    """Union-find over arbitrary hashable items, created lazily on access."""
+
+    def __init__(self, items: Iterable[Hashable] = ()) -> None:
+        self._parent: dict[Hashable, Hashable] = {}
+        self._size: dict[Hashable, int] = {}
+        for item in items:
+            self.add(item)
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._parent
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._parent)
+
+    def add(self, item: Hashable) -> None:
+        """Register ``item`` as a singleton set if not already present."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+
+    def find(self, item: Hashable) -> Hashable:
+        """Return the canonical representative of ``item``'s set."""
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:  # path compression
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> bool:
+        """Merge the sets of ``a`` and ``b``; return True if they differed."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return True
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """True if ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def set_size(self, item: Hashable) -> int:
+        """Size of the set containing ``item``."""
+        return self._size[self.find(item)]
+
+    def groups(self) -> dict[Hashable, list[Hashable]]:
+        """Map each representative to the sorted-insertion list of members."""
+        out: dict[Hashable, list[Hashable]] = {}
+        for item in self._parent:
+            out.setdefault(self.find(item), []).append(item)
+        return out
+
+    def count_sets(self) -> int:
+        """Number of disjoint sets currently tracked."""
+        return sum(1 for item in self._parent if self._parent[item] == item)

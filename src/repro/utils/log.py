@@ -1,0 +1,28 @@
+"""Library logging setup.
+
+The library never configures the root logger; it logs under the
+``repro`` namespace and applications opt in via ``enable_logging``.
+"""
+
+from __future__ import annotations
+
+import logging
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under ``repro``."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def enable_logging(level: int = logging.INFO) -> None:
+    """Attach a stderr handler to the library logger (for scripts/demos)."""
+    logger = logging.getLogger("repro")
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)
+    logger.setLevel(level)

@@ -1,0 +1,177 @@
+"""A pairing heap with decrease-key.
+
+The paper's PEval for SSSP cites Fredman & Tarjan's Fibonacci heaps;
+pairing heaps are their practical descendant — O(1) amortized insert and
+decrease-key (conjectured), O(log n) amortized delete-min — and the
+structure actually used when Fibonacci-class bounds matter in practice.
+The interface mirrors :class:`~repro.utils.heap.IndexedHeap`, so either
+can back Dijkstra; a property test asserts behavioral equivalence and a
+micro-benchmark compares the constants.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, Iterator, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+
+
+class _Node(Generic[K]):
+    __slots__ = ("key", "prio", "child", "sibling", "parent")
+
+    def __init__(self, key: K, prio: float) -> None:
+        self.key = key
+        self.prio = prio
+        self.child: _Node[K] | None = None
+        self.sibling: _Node[K] | None = None
+        self.parent: _Node[K] | None = None
+
+
+class PairingHeap(Generic[K]):
+    """Min-heap of ``(priority, key)`` pairs with decrease-key.
+
+    Keys are hashable and unique; ``push`` inserts or updates (either
+    direction — an increase is handled by cut-and-reinsert).
+    """
+
+    def __init__(self) -> None:
+        self._root: _Node[K] | None = None
+        self._nodes: dict[K, _Node[K]] = {}
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __bool__(self) -> bool:
+        return bool(self._nodes)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._nodes
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._nodes)
+
+    def priority(self, key: K) -> float:
+        """Current priority of ``key`` (KeyError if absent)."""
+        return self._nodes[key].prio
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _meld(a: "_Node[K] | None", b: "_Node[K] | None"):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        if b.prio < a.prio:
+            a, b = b, a
+        # b becomes a's first child
+        b.parent = a
+        b.sibling = a.child
+        a.child = b
+        return a
+
+    def _detach(self, node: _Node[K]) -> None:
+        """Cut ``node`` out of its parent's child list."""
+        parent = node.parent
+        if parent is None:
+            return
+        if parent.child is node:
+            parent.child = node.sibling
+        else:
+            prev = parent.child
+            while prev is not None and prev.sibling is not node:
+                prev = prev.sibling
+            if prev is not None:
+                prev.sibling = node.sibling
+        node.parent = None
+        node.sibling = None
+
+    def push(self, key: K, priority: float) -> None:
+        """Insert ``key`` or change its priority."""
+        node = self._nodes.get(key)
+        if node is None:
+            node = _Node(key, priority)
+            self._nodes[key] = node
+            self._root = self._meld(self._root, node)
+            return
+        if priority < node.prio:
+            node.prio = priority
+            if node is not self._root:
+                self._detach(node)
+                self._root = self._meld(self._root, node)
+        elif priority > node.prio:
+            # increase-key: remove and reinsert the subtree-less node
+            self._remove(node)
+            fresh = _Node(key, priority)
+            self._nodes[key] = fresh
+            self._root = self._meld(self._root, fresh)
+
+    def push_if_lower(self, key: K, priority: float) -> bool:
+        """Insert or decrease-key only; True if the heap changed."""
+        node = self._nodes.get(key)
+        if node is not None and node.prio <= priority:
+            return False
+        self.push(key, priority)
+        return True
+
+    def peek(self) -> tuple[K, float]:
+        """The minimum ``(key, priority)`` without removing it."""
+        if self._root is None:
+            raise IndexError("peek from empty PairingHeap")
+        return self._root.key, self._root.prio
+
+    def pop(self) -> tuple[K, float]:
+        """Remove and return the minimum ``(key, priority)``."""
+        root = self._root
+        if root is None:
+            raise IndexError("pop from empty PairingHeap")
+        del self._nodes[root.key]
+        self._root = self._merge_pairs(root.child)
+        if self._root is not None:
+            self._root.parent = None
+            self._root.sibling = None
+        return root.key, root.prio
+
+    def discard(self, key: K) -> bool:
+        """Remove ``key`` if present; True when removed."""
+        node = self._nodes.get(key)
+        if node is None:
+            return False
+        self._remove(node)
+        return True
+
+    # ------------------------------------------------------------------
+    def _remove(self, node: _Node[K]) -> None:
+        del self._nodes[node.key]
+        if node is self._root:
+            self._root = self._merge_pairs(node.child)
+            if self._root is not None:
+                self._root.parent = None
+                self._root.sibling = None
+            return
+        self._detach(node)
+        orphans = self._merge_pairs(node.child)
+        if orphans is not None:
+            orphans.parent = None
+            orphans.sibling = None
+            self._root = self._meld(self._root, orphans)
+
+    def _merge_pairs(self, first: "_Node[K] | None"):
+        """Two-pass pairing of a sibling list (the pairing heap core)."""
+        if first is None:
+            return None
+        pairs = []
+        node = first
+        while node is not None:
+            a = node
+            b = node.sibling
+            node = b.sibling if b is not None else None
+            a.sibling = None
+            a.parent = None
+            if b is not None:
+                b.sibling = None
+                b.parent = None
+            pairs.append(self._meld(a, b))
+        result = pairs[-1]
+        for melded in reversed(pairs[:-1]):
+            result = self._meld(result, melded)
+        return result

@@ -1,0 +1,36 @@
+"""Deterministic random number generation helpers.
+
+Every stochastic component (generators, streaming partitioners, SGD in CF)
+takes a seed and derives an isolated :class:`random.Random` through
+:func:`make_rng`, so experiments are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+
+def make_rng(seed: int | None, *scope: object) -> random.Random:
+    """Create an isolated RNG from ``seed`` and a scope tag.
+
+    ``scope`` components (e.g. a module name and a worker id) are mixed
+    into the seed so two components sharing one top-level seed do not
+    consume the same stream.
+    """
+    if seed is None:
+        return random.Random()
+    tag = "/".join(str(part) for part in scope)
+    mixed = seed ^ zlib.crc32(tag.encode("utf-8"))
+    return random.Random(mixed)
+
+
+def stable_hash(value: object) -> int:
+    """A process-independent hash for strings/ints (unlike built-in hash).
+
+    Python randomizes ``hash(str)`` per process; partitioners must not,
+    or fragment assignment would change between runs.
+    """
+    if isinstance(value, int):
+        return value & 0x7FFFFFFF
+    return zlib.crc32(repr(value).encode("utf-8")) & 0x7FFFFFFF

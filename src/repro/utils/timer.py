@@ -1,0 +1,51 @@
+"""Wall-clock measurement used by the runtime cost model."""
+
+from __future__ import annotations
+
+import time
+from types import TracebackType
+
+
+class Stopwatch:
+    """Accumulating stopwatch; usable as a context manager.
+
+    The simulated cluster charges each worker the *measured* time of its
+    local sequential computation, then takes the per-superstep makespan
+    (max across workers), which is what a real BSP barrier would observe.
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._started: float | None = None
+
+    def start(self) -> None:
+        """Begin a timing interval."""
+        if self._started is not None:
+            raise RuntimeError("Stopwatch already running")
+        self._started = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop and return the elapsed time of this interval."""
+        if self._started is None:
+            raise RuntimeError("Stopwatch not running")
+        interval = time.perf_counter() - self._started
+        self.elapsed += interval
+        self._started = None
+        return interval
+
+    def reset(self) -> None:
+        """Zero the accumulated time."""
+        self.elapsed = 0.0
+        self._started = None
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.stop()

@@ -1,0 +1,179 @@
+"""Unit tests for sequential CC and graph-simulation building blocks."""
+
+from repro.algorithms.sequential.cc_seq import (
+    connected_components,
+    incremental_min_labels,
+)
+from repro.algorithms.sequential.simulation_seq import (
+    graph_simulation,
+    initial_candidates,
+    refine_simulation,
+)
+from repro.graph.digraph import Graph
+from repro.graph.generators import labeled_social, power_law
+
+
+# ------------------------------------------------------------------ cc
+def test_cc_single_component():
+    g = Graph()
+    g.add_edge(3, 1)
+    g.add_edge(1, 2)
+    labels = connected_components(g)
+    assert labels == {1: 1, 2: 1, 3: 1}
+
+
+def test_cc_direction_ignored():
+    g = Graph()
+    g.add_edge(5, 1)  # weak connectivity
+    assert connected_components(g) == {1: 1, 5: 1}
+
+
+def test_cc_multiple_components():
+    g = Graph()
+    g.add_edge(0, 1)
+    g.add_edge(10, 11)
+    g.add_vertex(99)
+    labels = connected_components(g)
+    assert labels[0] == labels[1] == 0
+    assert labels[10] == labels[11] == 10
+    assert labels[99] == 99
+
+
+def test_cc_matches_bfs_oracle_on_random():
+    g = power_law(150, seed=1)
+    labels = connected_components(g)
+    # all vertices reachable (BA graph is connected): single label
+    assert len(set(labels.values())) == 1
+
+
+def test_incremental_labels_propagate():
+    g = Graph()
+    g.add_edge(5, 6)
+    g.add_edge(6, 7)
+    labels = {5: 5, 6: 5, 7: 5}
+    changes, touched = incremental_min_labels(g, labels, {6: 2})
+    assert labels == {5: 2, 6: 2, 7: 2}
+    assert set(changes) == {5, 6, 7}
+    assert touched >= 3
+
+
+def test_incremental_labels_ignore_worse():
+    g = Graph()
+    g.add_edge(1, 2)
+    labels = {1: 1, 2: 1}
+    changes, touched = incremental_min_labels(g, labels, {2: 9})
+    assert changes == {}
+    assert labels == {1: 1, 2: 1}
+
+
+def test_incremental_labels_missing_vertex_skipped():
+    g = Graph()
+    g.add_edge(1, 2)
+    labels = {1: 1, 2: 1}
+    changes, _ = incremental_min_labels(g, labels, {42: 0})
+    assert changes == {}
+
+
+# ----------------------------------------------------------------- sim
+def _pattern_ab() -> Graph:
+    p = Graph()
+    p.add_vertex("A", label="a")
+    p.add_vertex("B", label="b")
+    p.add_edge("A", "B")
+    return p
+
+
+def test_sim_label_filter():
+    g = Graph()
+    g.add_vertex(1, label="a")
+    g.add_vertex(2, label="b")
+    g.add_edge(1, 2)
+    result = graph_simulation(g, _pattern_ab())
+    assert result == {"A": {1}, "B": {2}}
+
+
+def test_sim_requires_witness_child():
+    g = Graph()
+    g.add_vertex(1, label="a")  # a with no b-child
+    g.add_vertex(2, label="b")
+    result = graph_simulation(g, _pattern_ab())
+    assert result["A"] == set()
+    assert result["B"] == {2}  # B has no pattern out-edges: label match only
+
+
+def test_sim_cycle_pattern():
+    p = Graph()
+    p.add_vertex("X", label="p")
+    p.add_vertex("Y", label="p")
+    p.add_edge("X", "Y")
+    p.add_edge("Y", "X")
+    g = Graph()
+    g.add_vertex(1, label="p")
+    g.add_vertex(2, label="p")
+    g.add_vertex(3, label="p")
+    g.add_edge(1, 2)
+    g.add_edge(2, 1)
+    g.add_edge(2, 3)  # 3 has no back edge
+    result = graph_simulation(g, p)
+    assert result["X"] == {1, 2}
+    assert result["Y"] == {1, 2}
+
+
+def test_sim_is_coarser_than_isomorphism():
+    # Simulation allows one data vertex to play several pattern roles.
+    p = Graph()
+    p.add_vertex("u", label="x")
+    p.add_vertex("v", label="x")
+    p.add_edge("u", "v")
+    g = Graph()
+    g.add_vertex(1, label="x")
+    g.add_edge(1, 1)  # self loop simulates the 2-chain
+    result = graph_simulation(g, p)
+    assert result["u"] == {1} and result["v"] == {1}
+
+
+def test_refine_frozen_candidates_respected():
+    g = Graph()
+    g.add_vertex(1, label="a")
+    g.add_vertex(2, label="b")  # border mirror
+    g.add_edge(1, 2)
+    pattern = _pattern_ab()
+    cands = initial_candidates(g, pattern, [1])
+    # Mirror 2 is *assumed* to not match B: then 1 cannot match A.
+    frozen = {2: frozenset()}
+    cands, _ = refine_simulation(g, pattern, cands, frozen=frozen)
+    assert cands[1] == frozenset()
+
+
+def test_refine_dirty_worklist_targets_in_neighbors():
+    g = Graph()
+    g.add_vertex(1, label="a")
+    g.add_vertex(2, label="b")
+    g.add_edge(1, 2)
+    pattern = _pattern_ab()
+    cands = initial_candidates(g, pattern, [1])
+    frozen = {2: frozenset({"B"})}
+    cands, _ = refine_simulation(g, pattern, cands, frozen=frozen)
+    assert cands[1] == frozenset({"A"})
+    # Now the mirror's assumption shrinks; dirty propagation must kill 1.
+    frozen = {2: frozenset()}
+    cands, steps = refine_simulation(
+        g, pattern, cands, frozen=frozen, dirty=[2]
+    )
+    assert cands[1] == frozenset()
+    assert steps >= 1
+
+
+def test_sim_on_social_graph_products_match():
+    g = labeled_social(60, seed=2)
+    p = Graph()
+    p.add_vertex("P", label="person")
+    p.add_vertex("Q", label="product")
+    p.add_edge("P", "Q")
+    result = graph_simulation(g, p)
+    for v in result["Q"]:
+        assert g.vertex_label(v) == "product"
+    for v in result["P"]:
+        assert any(
+            g.vertex_label(u) == "product" for u in g.out_neighbors(v)
+        )

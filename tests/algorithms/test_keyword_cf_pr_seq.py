@@ -1,0 +1,166 @@
+"""Unit tests for sequential keyword search, CF and PageRank."""
+
+import pytest
+
+from repro.algorithms.sequential.cf_seq import FactorModel, rmse, sgd_epoch
+from repro.algorithms.sequential.keyword_seq import (
+    UNREACHED,
+    holds_keyword,
+    keyword_cover_roots,
+    keyword_distances,
+)
+from repro.algorithms.sequential.pagerank_seq import pagerank
+from repro.graph.digraph import Graph
+from repro.graph.generators import (
+    bipartite_ratings,
+    cycle_graph,
+    road_network,
+)
+
+
+# -------------------------------------------------------------- keyword
+def _keyword_graph() -> Graph:
+    g = Graph()
+    g.add_vertex(1, label="paper", keywords=["graph"])
+    g.add_vertex(2, label="paper", keywords=["query"])
+    g.add_vertex(3, label="hub")
+    g.add_edge(3, 1)
+    g.add_edge(3, 2)
+    g.add_edge(1, 2)
+    return g
+
+
+def test_holds_keyword_label_props_name():
+    g = Graph()
+    g.add_vertex(1, label="Person")
+    g.add_vertex(2, keywords=["Alpha", "beta"])
+    g.add_vertex(3, name="Gamma")
+    assert holds_keyword(g, 1, "person")
+    assert holds_keyword(g, 2, "alpha")
+    assert holds_keyword(g, 3, "gamma")
+    assert not holds_keyword(g, 1, "beta")
+
+
+def test_keyword_distances_backward_bfs():
+    g = _keyword_graph()
+    dists, visited = keyword_distances(g, "graph", radius=3)
+    assert dists[1] == 0
+    assert dists[3] == 1
+    assert 2 not in dists  # vertex 2 cannot reach keyword "graph"
+    assert visited >= 2
+
+
+def test_keyword_radius_truncates():
+    g = Graph()
+    for i in range(5):
+        g.add_edge(i, i + 1)
+    g.add_vertex(5, keywords=["target"])
+    dists, _ = keyword_distances(g, "target", radius=2)
+    assert dists[3] == 2
+    assert 2 not in dists
+
+
+def test_keyword_seeds_inject_external_knowledge():
+    g = Graph()
+    g.add_edge(0, 1)  # no holders locally
+    dists, _ = keyword_distances(g, "x", radius=3, seeds={1: 1.0})
+    assert dists[0] == 2.0
+    assert dists[1] == 1.0
+
+
+def test_keyword_known_suppresses_stale():
+    g = Graph()
+    g.add_edge(0, 1)
+    known = {1: 1.0, 0: 2.0}
+    dists, _ = keyword_distances(g, "x", radius=3, seeds={1: 1.0}, known=known)
+    assert dists == {}
+
+
+def test_cover_roots():
+    g = _keyword_graph()
+    roots = keyword_cover_roots(g, ["graph", "query"], radius=2)
+    assert roots[3] == 1 + 1
+    assert roots[1] == 0 + 1
+    assert 2 not in roots  # can't reach "graph"
+
+
+def test_cover_roots_empty_keywords():
+    g = _keyword_graph()
+    roots = keyword_cover_roots(g, [], radius=2)
+    assert set(roots) == set(g.vertices())  # vacuous cover
+
+
+# ------------------------------------------------------------------- cf
+def test_factor_model_ensure_deterministic():
+    a = FactorModel(rank=3)
+    b = FactorModel(rank=3)
+    a.ensure([1], [2], seed=5)
+    b.ensure([1], [2], seed=5)
+    assert a.user_factors[1] == b.user_factors[1]
+
+
+def test_sgd_reduces_rmse():
+    g = bipartite_ratings(40, 12, ratings_per_user=8, seed=1)
+    ratings = [(e.src, e.dst, e.weight) for e in g.edges()]
+    model = FactorModel(rank=4)
+    model.mean = sum(r for _, _, r in ratings) / len(ratings)
+    model.ensure((u for u, _, _ in ratings), (i for _, i, _ in ratings))
+    before = rmse(model, ratings)
+    for epoch in range(8):
+        sgd_epoch(model, ratings, seed=epoch)
+    after = rmse(model, ratings)
+    assert after < before * 0.8
+
+
+def test_sgd_epoch_returns_mse():
+    model = FactorModel(rank=2)
+    ratings = [(1, 10, 4.0), (2, 10, 2.0)]
+    model.mean = 3.0
+    model.ensure([1, 2], [10])
+    mse = sgd_epoch(model, ratings)
+    assert mse == pytest.approx(
+        sum((r - 3.0) ** 2 for _, _, r in ratings) / 2, rel=0.3
+    )
+
+
+def test_rmse_empty_ratings():
+    assert rmse(FactorModel(rank=2), []) == 0.0
+
+
+def test_predict_without_factors_uses_mean():
+    model = FactorModel(rank=2, mean=3.5)
+    assert model.predict("nobody", "nothing") == 3.5
+
+
+# ------------------------------------------------------------- pagerank
+def test_pagerank_sums_to_one():
+    g = road_network(6, 6, seed=2)
+    ranks = pagerank(g)
+    assert sum(ranks.values()) == pytest.approx(1.0, abs=1e-6)
+
+
+def test_pagerank_uniform_on_cycle():
+    ranks = pagerank(cycle_graph(5))
+    for r in ranks.values():
+        assert r == pytest.approx(0.2, abs=1e-6)
+
+
+def test_pagerank_hub_gets_more():
+    g = Graph()
+    for i in range(1, 5):
+        g.add_edge(i, 0)  # everyone points at 0
+        g.add_edge(0, i)
+    ranks = pagerank(g)
+    assert ranks[0] > max(ranks[i] for i in range(1, 5))
+
+
+def test_pagerank_dangling_mass_redistributed():
+    g = Graph()
+    g.add_edge(0, 1)  # 1 is dangling
+    ranks = pagerank(g)
+    assert sum(ranks.values()) == pytest.approx(1.0, abs=1e-6)
+    assert ranks[1] > ranks[0]
+
+
+def test_pagerank_empty_graph():
+    assert pagerank(Graph()) == {}

@@ -1,0 +1,183 @@
+"""Unit tests for the VF2-style subgraph isomorphism enumerator."""
+
+from repro.algorithms.sequential.vf2 import (
+    find_subgraph_isomorphisms,
+    iter_subgraph_isomorphisms,
+)
+from repro.graph.digraph import Graph
+from repro.graph.generators import complete_graph, labeled_social
+
+
+def _edge_pattern(src_label="a", dst_label="b", edge_label=None) -> Graph:
+    p = Graph()
+    p.add_vertex("u", label=src_label)
+    p.add_vertex("v", label=dst_label)
+    p.add_edge("u", "v", label=edge_label)
+    return p
+
+
+def test_single_edge_match():
+    g = Graph()
+    g.add_vertex(1, label="a")
+    g.add_vertex(2, label="b")
+    g.add_edge(1, 2)
+    matches = find_subgraph_isomorphisms(_edge_pattern(), g)
+    assert matches == [{"u": 1, "v": 2}]
+
+
+def test_no_match_wrong_direction():
+    g = Graph()
+    g.add_vertex(1, label="a")
+    g.add_vertex(2, label="b")
+    g.add_edge(2, 1)
+    assert find_subgraph_isomorphisms(_edge_pattern(), g) == []
+
+
+def test_wildcard_labels():
+    p = Graph()
+    p.add_vertex("u")  # None = wildcard
+    p.add_vertex("v")
+    p.add_edge("u", "v")
+    g = Graph()
+    g.add_edge(1, 2)
+    assert find_subgraph_isomorphisms(p, g) == [{"u": 1, "v": 2}]
+
+
+def test_injective_mapping():
+    p = Graph()
+    p.add_vertex("u", label="x")
+    p.add_vertex("v", label="x")
+    p.add_edge("u", "v")
+    g = Graph()
+    g.add_vertex(1, label="x")
+    g.add_edge(1, 1)  # self-loop would need u,v -> 1,1 (not injective)
+    assert find_subgraph_isomorphisms(p, g) == []
+
+
+def test_triangle_count_in_k4():
+    p = Graph()
+    for v in ("a", "b", "c"):
+        p.add_vertex(v)
+    p.add_edge("a", "b")
+    p.add_edge("b", "c")
+    p.add_edge("c", "a")
+    g = complete_graph(4)  # directed complete graph
+    matches = find_subgraph_isomorphisms(p, g)
+    # 4 choose 3 vertex sets x 3! orientations... directed triangles:
+    # each ordered 3-cycle of distinct vertices: 4*3*2 = 24, but each
+    # cycle counted once per rotation start => matches = 24.
+    assert len(matches) == 24
+
+
+def test_edge_label_constraint():
+    g = Graph()
+    g.add_vertex(1, label="a")
+    g.add_vertex(2, label="b")
+    g.add_edge(1, 2, label="likes")
+    wants_follows = _edge_pattern(edge_label="follows")
+    wants_likes = _edge_pattern(edge_label="likes")
+    assert find_subgraph_isomorphisms(wants_follows, g) == []
+    assert len(find_subgraph_isomorphisms(wants_likes, g)) == 1
+
+
+def test_edge_label_ignored_when_disabled():
+    g = Graph()
+    g.add_vertex(1, label="a")
+    g.add_vertex(2, label="b")
+    g.add_edge(1, 2, label="likes")
+    p = _edge_pattern(edge_label="follows")
+    matches = find_subgraph_isomorphisms(p, g, match_edge_labels=False)
+    assert len(matches) == 1
+
+
+def test_anchor_pins_pattern_vertex():
+    g = Graph()
+    for i in (1, 3):
+        g.add_vertex(i, label="a")
+    for i in (2, 4):
+        g.add_vertex(i, label="b")
+    g.add_edge(1, 2)
+    g.add_edge(3, 4)
+    matches = find_subgraph_isomorphisms(
+        _edge_pattern(), g, anchor=("u", 3)
+    )
+    assert matches == [{"u": 3, "v": 4}]
+
+
+def test_node_filter():
+    g = Graph()
+    g.add_vertex(1, label="a")
+    g.add_vertex(2, label="b")
+    g.add_vertex(3, label="a")
+    g.add_vertex(4, label="b")
+    g.add_edge(1, 2)
+    g.add_edge(3, 4)
+    matches = find_subgraph_isomorphisms(
+        _edge_pattern(), g, node_filter=lambda pv, gv: gv != 1
+    )
+    assert matches == [{"u": 3, "v": 4}]
+
+
+def test_max_matches_caps_enumeration():
+    g = complete_graph(5)
+    p = Graph()
+    p.add_vertex("u")
+    p.add_vertex("v")
+    p.add_edge("u", "v")
+    matches = find_subgraph_isomorphisms(p, g, max_matches=7)
+    assert len(matches) == 7
+
+
+def test_iterator_is_lazy():
+    g = complete_graph(5)
+    p = Graph()
+    p.add_vertex("u")
+    p.add_vertex("v")
+    p.add_edge("u", "v")
+    it = iter_subgraph_isomorphisms(p, g)
+    first = next(it)
+    assert set(first) == {"u", "v"}
+
+
+def test_degree_pruning_correctness():
+    # Vertex with insufficient out-degree can't host a hub pattern node.
+    p = Graph()
+    p.add_vertex("hub")
+    p.add_vertex("s1")
+    p.add_vertex("s2")
+    p.add_edge("hub", "s1")
+    p.add_edge("hub", "s2")
+    g = Graph()
+    g.add_edge(1, 2)
+    g.add_edge(1, 3)
+    g.add_edge(4, 5)  # 4 has out-degree 1: pruned
+    matches = find_subgraph_isomorphisms(p, g)
+    hubs = {m["hub"] for m in matches}
+    assert hubs == {1}
+    assert len(matches) == 2  # spokes can swap
+
+
+def test_disconnected_pattern_handled():
+    p = Graph()
+    p.add_vertex("u", label="a")
+    p.add_vertex("w", label="c")  # isolated pattern vertex
+    g = Graph()
+    g.add_vertex(1, label="a")
+    g.add_vertex(2, label="c")
+    matches = find_subgraph_isomorphisms(p, g)
+    assert matches == [{"u": 1, "w": 2}]
+
+
+def test_empty_pattern_no_matches():
+    assert find_subgraph_isomorphisms(Graph(), complete_graph(3)) == []
+
+
+def test_social_pattern_spot_check():
+    g = labeled_social(80, seed=4)
+    p = Graph()
+    p.add_vertex("x", label="person")
+    p.add_vertex("y", label="product")
+    p.add_edge("x", "y", label="recommend")
+    matches = find_subgraph_isomorphisms(p, g)
+    for m in matches:
+        assert g.edge_label(m["x"], m["y"]) == "recommend"

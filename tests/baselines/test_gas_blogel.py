@@ -1,0 +1,112 @@
+"""Unit tests for the GAS (GraphLab-style) and Blogel-style engines."""
+
+import pytest
+
+from repro.algorithms.sequential.cc_seq import connected_components
+from repro.algorithms.sequential.dijkstra import INF, single_source
+from repro.baselines.blogel import BlogelEngine
+from repro.baselines.blogel_programs import BlogelSSSP, BlogelWCC
+from repro.baselines.gas import GASEngine
+from repro.baselines.gas_programs import GASPageRank, GASSSSP, GASWCC
+from repro.graph.fragment import build_fragments
+from repro.graph.generators import power_law, road_network
+from repro.partition.registry import get_partitioner
+
+
+def _fragd(graph, workers=3, strategy="hash"):
+    assignment = get_partitioner(strategy)(graph, workers)
+    return build_fragments(graph, assignment, workers, strategy)
+
+
+# ----------------------------------------------------------------- gas
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_gas_sssp_matches_oracle(workers):
+    g = road_network(7, 7, seed=1)
+    fragd = _fragd(g, workers)
+    result = GASEngine(g, fragd).run(GASSSSP(source=0))
+    oracle = single_source(g, 0)
+    for v in g.vertices():
+        assert result.values[v] == pytest.approx(oracle[v]) or (
+            result.values[v] == INF and oracle[v] == INF
+        )
+
+
+def test_gas_wcc_matches_oracle():
+    g = power_law(100, seed=2)
+    fragd = _fragd(g)
+    result = GASEngine(g, fragd).run(GASWCC())
+    assert result.values == connected_components(g)
+
+
+def test_gas_replica_syncs_counted():
+    g = road_network(6, 6, seed=3)
+    fragd = _fragd(g, 4)
+    result = GASEngine(g, fragd).run(GASSSSP(source=0))
+    assert result.replica_syncs > 0
+
+
+def test_gas_single_worker_no_bytes():
+    g = road_network(5, 5, seed=4)
+    fragd = _fragd(g, 1)
+    result = GASEngine(g, fragd).run(GASSSSP(source=0))
+    assert result.metrics.total_bytes == 0
+
+
+def test_gas_pagerank_ranks_reasonable():
+    g = road_network(5, 5, seed=5)
+    fragd = _fragd(g, 2)
+    degrees = {v: g.out_degree(v) for v in g.vertices()}
+    result = GASEngine(g, fragd).run(
+        GASPageRank(
+            num_vertices=g.num_vertices,
+            out_degree=degrees,
+            tolerance=1e-6,
+        )
+    )
+    ranks = {v: val[0] for v, val in result.values.items()}
+    assert sum(ranks.values()) == pytest.approx(1.0, abs=0.05)
+
+
+# -------------------------------------------------------------- blogel
+@pytest.mark.parametrize("strategy", ["hash", "bfs"])
+def test_blogel_sssp_matches_oracle(strategy):
+    g = road_network(7, 7, seed=6)
+    fragd = _fragd(g, 3, strategy)
+    result = BlogelEngine(fragd).run(BlogelSSSP(source=0))
+    oracle = single_source(g, 0)
+    for v in g.vertices():
+        assert result.values[v] == pytest.approx(oracle[v]) or (
+            result.values[v] == INF and oracle[v] == INF
+        )
+
+
+def test_blogel_wcc_matches_oracle():
+    g = power_law(100, seed=7)
+    fragd = _fragd(g, 3)
+    result = BlogelEngine(fragd).run(BlogelWCC())
+    assert result.values == connected_components(g)
+
+
+def test_blogel_blocks_respect_partition_quality():
+    g = road_network(8, 8, seed=8)
+    hash_blocks = BlogelEngine(_fragd(g, 4, "hash")).num_blocks
+    bfs_blocks = BlogelEngine(_fragd(g, 4, "bfs")).num_blocks
+    # Locality-aware partitions produce far fewer, larger blocks.
+    assert bfs_blocks < hash_blocks
+
+
+def test_blogel_fewer_supersteps_than_pregel():
+    from repro.baselines.pregel import PregelEngine
+    from repro.baselines.pregel_programs import PregelSSSP
+
+    g = road_network(9, 9, seed=9, removal_prob=0.0)
+    fragd = _fragd(g, 3, "bfs")
+    blogel = BlogelEngine(fragd).run(BlogelSSSP(source=0))
+    pregel = PregelEngine(fragd).run(PregelSSSP(source=0))
+    assert blogel.supersteps < pregel.supersteps
+
+
+def test_blogel_vertex_messages_counted():
+    g = road_network(6, 6, seed=10)
+    result = BlogelEngine(_fragd(g, 3)).run(BlogelSSSP(source=0))
+    assert result.vertex_messages > 0

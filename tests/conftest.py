@@ -1,0 +1,62 @@
+"""Shared fixtures: small deterministic graphs and sessions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.digraph import Graph
+from repro.graph.fragment import build_fragments
+from repro.graph.generators import (
+    labeled_social,
+    power_law,
+    road_network,
+)
+from repro.partition.registry import get_partitioner
+
+
+@pytest.fixture
+def diamond() -> Graph:
+    """0 -> {1, 2} -> 3 with distinct weights; classic SSSP shape."""
+    g = Graph()
+    g.add_edge(0, 1, 1.0)
+    g.add_edge(0, 2, 4.0)
+    g.add_edge(1, 3, 2.0)
+    g.add_edge(2, 3, 1.0)
+    return g
+
+
+@pytest.fixture
+def two_components() -> Graph:
+    """Two weakly-connected components: {0,1,2} and {10,11}."""
+    g = Graph()
+    g.add_edge(0, 1)
+    g.add_edge(1, 2)
+    g.add_edge(2, 0)
+    g.add_edge(10, 11)
+    return g
+
+
+@pytest.fixture
+def small_road() -> Graph:
+    return road_network(10, 10, seed=42)
+
+
+@pytest.fixture
+def small_social() -> Graph:
+    return labeled_social(120, seed=7)
+
+
+@pytest.fixture
+def small_power() -> Graph:
+    return power_law(200, m_per_node=3, seed=9)
+
+
+def fragment(graph: Graph, parts: int, strategy: str = "hash"):
+    """Helper: partition + build fragments in one call."""
+    assignment = get_partitioner(strategy)(graph, parts)
+    return build_fragments(graph, assignment, parts, strategy=strategy)
+
+
+@pytest.fixture
+def fragment_fn():
+    return fragment

@@ -1,0 +1,110 @@
+"""Tests for superstep checkpointing and crash recovery."""
+
+import pytest
+
+from repro.algorithms.cc import CCProgram, CCQuery
+from repro.algorithms.sssp import SSSPProgram, SSSPQuery
+from repro.algorithms.sequential.dijkstra import INF, single_source
+from repro.core.checkpoint import CheckpointPolicy
+from repro.core.engine import GrapeEngine
+from repro.errors import StorageError
+from repro.graph.fragment import build_fragments
+from repro.graph.generators import road_network
+from repro.partition.registry import get_partitioner
+from repro.storage.dfs import SimulatedDFS
+
+
+def _engine(graph, workers=4):
+    assignment = get_partitioner("bfs")(graph, workers)
+    return GrapeEngine(build_fragments(graph, assignment, workers, "bfs"))
+
+
+class CrashingSSSP(SSSPProgram):
+    """Raises on a chosen IncEval invocation (simulated worker death)."""
+
+    def __init__(self, crash_at_call: int) -> None:
+        super().__init__()
+        self.crash_at_call = crash_at_call
+        self.calls = 0
+
+    def inceval(self, fragment, query, partial, params, changed):
+        self.calls += 1
+        if self.calls == self.crash_at_call:
+            raise ConnectionError("simulated worker failure")
+        return super().inceval(fragment, query, partial, params, changed)
+
+
+def test_checkpoints_written_on_schedule(tmp_path):
+    g = road_network(10, 10, seed=1, removal_prob=0.0)
+    policy = CheckpointPolicy(SimulatedDFS(tmp_path), every=2, tag="sssp")
+    engine = _engine(g)
+    result = engine.run(SSSPProgram(), SSSPQuery(source=0), checkpoint=policy)
+    saved = policy.rounds_saved()
+    assert saved  # enough rounds to hit the schedule
+    assert all(r % 2 == 0 for r in saved)
+    latest_round, state = policy.load_latest()
+    assert latest_round == saved[-1]
+    assert len(state.partials) == 4
+
+
+def test_recovery_after_crash_matches_fresh_run(tmp_path):
+    g = road_network(12, 12, seed=2, removal_prob=0.0)
+    policy = CheckpointPolicy(SimulatedDFS(tmp_path), every=1, tag="crash")
+    oracle = single_source(g, 0)
+
+    engine = _engine(g)
+    crashy = CrashingSSSP(crash_at_call=6)  # mid-fixpoint (9 calls total)
+    with pytest.raises(ConnectionError):
+        engine.run(crashy, SSSPQuery(source=0), checkpoint=policy)
+    assert policy.rounds_saved()  # died after at least one checkpoint
+
+    recovered = engine.resume_from_checkpoint(
+        SSSPProgram(), SSSPQuery(source=0), policy
+    )
+    for v in g.vertices():
+        got = recovered.answer.get(v, INF)
+        assert got == pytest.approx(oracle[v]) or (
+            got == INF and oracle[v] == INF
+        )
+
+
+def test_recovery_costs_bounded_rounds(tmp_path):
+    g = road_network(12, 12, seed=3, removal_prob=0.0)
+    engine = _engine(g)
+    fresh = engine.run(SSSPProgram(), SSSPQuery(source=0))
+    total_rounds = len(fresh.rounds)
+
+    policy = CheckpointPolicy(SimulatedDFS(tmp_path), every=1, tag="late")
+    engine2 = _engine(g)
+    crashy = CrashingSSSP(crash_at_call=10**9)  # never crashes
+    engine2.run(crashy, SSSPQuery(source=0), checkpoint=policy)
+    # resume from the final checkpoint: almost no rounds left
+    recovered = engine2.resume_from_checkpoint(
+        SSSPProgram(), SSSPQuery(source=0), policy
+    )
+    assert len(recovered.rounds) <= max(3, total_rounds // 3)
+
+
+def test_cc_recovery(tmp_path):
+    from repro.algorithms.sequential.cc_seq import connected_components
+
+    g = road_network(9, 9, seed=4)
+    policy = CheckpointPolicy(SimulatedDFS(tmp_path), every=1, tag="cc")
+    engine = _engine(g, workers=3)
+    engine.run(CCProgram(), CCQuery(), checkpoint=policy)
+    recovered = engine.resume_from_checkpoint(CCProgram(), CCQuery(), policy)
+    assert recovered.answer == connected_components(g)
+
+
+def test_load_latest_without_checkpoints_raises(tmp_path):
+    policy = CheckpointPolicy(SimulatedDFS(tmp_path), tag="ghost")
+    with pytest.raises(StorageError, match="ghost"):
+        policy.load_latest()
+
+
+def test_no_checkpoints_when_fixpoint_too_fast(tmp_path):
+    g = road_network(3, 3, seed=5)
+    policy = CheckpointPolicy(SimulatedDFS(tmp_path), every=50, tag="fast")
+    engine = _engine(g, workers=2)
+    engine.run(SSSPProgram(), SSSPQuery(source=0), checkpoint=policy)
+    assert policy.rounds_saved() == []

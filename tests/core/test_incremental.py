@@ -1,0 +1,221 @@
+"""Tests for incremental graph updates (ΔG): resume after insertions."""
+
+import pytest
+
+from repro.algorithms.bfs import BFSProgram, BFSQuery
+from repro.algorithms.cc import CCProgram, CCQuery
+from repro.algorithms.sequential.cc_seq import connected_components
+from repro.algorithms.sequential.dijkstra import INF, single_source
+from repro.algorithms.sssp import SSSPProgram, SSSPQuery
+from repro.core.engine import GrapeEngine
+from repro.core.incremental import EdgeInsertion, apply_insertions
+from repro.errors import ProgramError
+from repro.graph.digraph import Graph
+from repro.graph.fragment import build_fragments
+from repro.graph.generators import random_weighted_digraph, road_network
+from repro.graph.metrics import bfs_layers
+from repro.partition.registry import get_partitioner
+from repro.utils.rng import make_rng
+
+
+def _engine(graph, workers=4, strategy="hash"):
+    assignment = get_partitioner(strategy)(graph, workers)
+    fragd = build_fragments(graph, assignment, workers, strategy)
+    return GrapeEngine(fragd)
+
+
+# ------------------------------------------------------ apply_insertions
+def test_apply_insertion_local_edge():
+    g = Graph()
+    g.add_edge(0, 1)
+    g.add_vertex(2)
+    fragd = build_fragments(g, {0: 0, 1: 0, 2: 0}, 1)
+    touched = apply_insertions(fragd, [EdgeInsertion(1, 2, 5.0)])
+    assert touched == {0: [EdgeInsertion(1, 2, 5.0)]}
+    assert fragd.fragments[0].graph.edge_weight(1, 2) == 5.0
+
+
+def test_apply_insertion_cross_edge_updates_borders():
+    g = Graph()
+    g.add_vertex(0)
+    g.add_vertex(1)
+    fragd = build_fragments(g, {0: 0, 1: 1}, 2)
+    touched = apply_insertions(fragd, [EdgeInsertion(0, 1)])
+    assert set(touched) == {0, 1}  # src side repairs, dst side exports
+    f0, f1 = fragd.fragments
+    assert f0.mirrors == {1: 1}
+    assert f1.inner_border == {1}
+    assert fragd.hosts(1) == {0, 1}
+    assert f0.graph.has_edge(0, 1)
+
+
+def test_apply_insertion_unknown_vertex_rejected():
+    g = Graph()
+    g.add_vertex(0)
+    fragd = build_fragments(g, {0: 0}, 1)
+    with pytest.raises(ProgramError):
+        apply_insertions(fragd, [EdgeInsertion(0, 99)])
+
+
+def test_apply_insertion_undirected_mirrors_both_sides():
+    g = Graph(directed=False)
+    g.add_vertex(0)
+    g.add_vertex(1)
+    fragd = build_fragments(g, {0: 0, 1: 1}, 2)
+    touched = apply_insertions(fragd, [EdgeInsertion(0, 1)])
+    assert set(touched) == {0, 1}
+    assert fragd.fragments[1].graph.has_edge(1, 0)
+    assert fragd.fragments[1].mirrors == {0: 0}
+
+
+# ------------------------------------------------------------- programs
+def test_sssp_incremental_matches_fresh_run():
+    g = random_weighted_digraph(120, 480, seed=1)
+    engine = _engine(g, 4)
+    program = SSSPProgram()
+    first = engine.run(program, SSSPQuery(source=0), keep_state=True)
+
+    rng = make_rng(2, "ins")
+    insertions = []
+    vertices = list(g.vertices())
+    while len(insertions) < 10:
+        u, v = rng.choice(vertices), rng.choice(vertices)
+        if u != v and not g.has_edge(u, v):
+            insertions.append(EdgeInsertion(u, v, 0.5 + rng.random()))
+            g.add_edge(u, v, insertions[-1].weight)  # keep oracle in sync
+
+    second = engine.run_incremental(
+        program, SSSPQuery(source=0), first.state, insertions
+    )
+    oracle = single_source(g, 0)
+    for v in g.vertices():
+        got = second.answer.get(v, INF)
+        assert got == pytest.approx(oracle[v]) or (
+            got == INF and oracle[v] == INF
+        )
+
+
+def test_sssp_incremental_cheaper_than_rerun():
+    g = road_network(20, 20, seed=3, removal_prob=0.0)
+    engine = _engine(g, 4, "bfs")
+    program = SSSPProgram()
+    first = engine.run(program, SSSPQuery(source=0), keep_state=True)
+    initial_work = sum(s for _, _, s in program.work_log)
+
+    # A shortcut that improves the far corner by a whisker: the affected
+    # region is tiny, so the repair should be a fraction of the initial
+    # fixpoint's settled-vertex work.
+    corner = 399
+    shortcut = EdgeInsertion(0, corner, first.answer[corner] - 0.05)
+    program.work_log.clear()
+    second = engine.run_incremental(
+        program, SSSPQuery(source=0), first.state, [shortcut]
+    )
+    update_work = sum(s for _, _, s in program.work_log)
+    assert second.answer[corner] == pytest.approx(
+        first.answer[corner] - 0.05
+    )
+    assert update_work < initial_work / 5
+
+
+def test_bfs_incremental_matches_fresh_run():
+    g = random_weighted_digraph(100, 300, seed=4)
+    engine = _engine(g, 3)
+    program = BFSProgram()
+    first = engine.run(program, BFSQuery(source=0), keep_state=True)
+    insertions = [EdgeInsertion(0, 57), EdgeInsertion(57, 91)]
+    for ins in insertions:
+        if not g.has_edge(ins.src, ins.dst):
+            g.add_edge(ins.src, ins.dst)
+    second = engine.run_incremental(
+        program, BFSQuery(source=0), first.state, insertions
+    )
+    oracle = bfs_layers(g, 0)
+    got = {v: d for v, d in second.answer.items() if d < INF}
+    assert got == {v: float(d) for v, d in oracle.items()}
+
+
+def test_cc_incremental_merges_components():
+    g = Graph()
+    g.add_edge(0, 1)
+    g.add_edge(1, 0)
+    g.add_edge(10, 11)
+    g.add_edge(11, 10)
+    engine = _engine(g, 2, "range")
+    program = CCProgram()
+    first = engine.run(program, CCQuery(), keep_state=True)
+    assert len(set(first.answer.values())) == 2
+
+    g.add_edge(1, 10)
+    second = engine.run_incremental(
+        program, CCQuery(), first.state, [EdgeInsertion(1, 10)]
+    )
+    assert set(second.answer.values()) == {0}
+    assert second.answer == connected_components(g)
+
+
+def test_cc_incremental_random_batches():
+    g = random_weighted_digraph(80, 120, seed=5)
+    engine = _engine(g, 4)
+    program = CCProgram()
+    result = engine.run(program, CCQuery(), keep_state=True)
+    rng = make_rng(6, "cc-ins")
+    vertices = list(g.vertices())
+    for _ in range(4):  # several sequential update batches
+        batch = []
+        while len(batch) < 5:
+            u, v = rng.choice(vertices), rng.choice(vertices)
+            if u != v and not g.has_edge(u, v):
+                batch.append(EdgeInsertion(u, v))
+                g.add_edge(u, v)
+        result = engine.run_incremental(
+            program, CCQuery(), result.state, batch
+        )
+        assert result.answer == connected_components(g)
+
+
+def test_incremental_without_support_raises():
+    from repro.algorithms.simulation import SimProgram, SimQuery
+
+    g = Graph()
+    g.add_vertex(0, label="a")
+    g.add_vertex(1, label="a")
+    engine = _engine(g, 1)
+    pattern = Graph()
+    pattern.add_vertex("x", label="a")
+    first = engine.run(SimProgram(), SimQuery(pattern=pattern),
+                       keep_state=True)
+    with pytest.raises(NotImplementedError):
+        engine.run_incremental(
+            SimProgram(), SimQuery(pattern=pattern), first.state,
+            [EdgeInsertion(0, 1)],
+        )
+
+
+def test_incremental_with_direct_routing():
+    g = random_weighted_digraph(80, 300, seed=9)
+    assignment = get_partitioner("hash")(g, 3)
+    fragd = build_fragments(g, assignment, 3)
+    engine = GrapeEngine(fragd, routing="direct")
+    program = SSSPProgram()
+    first = engine.run(program, SSSPQuery(source=0), keep_state=True)
+    insertions = [EdgeInsertion(0, 41, 0.7)]
+    if not g.has_edge(0, 41):
+        g.add_edge(0, 41, 0.7)
+    second = engine.run_incremental(
+        program, SSSPQuery(source=0), first.state, insertions
+    )
+    oracle = single_source(g, 0)
+    for v in g.vertices():
+        got = second.answer.get(v, INF)
+        assert got == pytest.approx(oracle[v]) or (
+            got == INF and oracle[v] == INF
+        )
+
+
+def test_state_absent_by_default():
+    g = Graph()
+    g.add_vertex(0)
+    engine = _engine(g, 1)
+    result = engine.run(SSSPProgram(), SSSPQuery(source=0))
+    assert result.state is None

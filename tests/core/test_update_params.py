@@ -1,0 +1,124 @@
+"""Unit tests for the update-parameter store (message protocol core)."""
+
+import pytest
+
+from repro.core.aggregators import MIN, SET_INTERSECT
+from repro.core.update_params import UpdateParams
+from repro.errors import ProgramError
+
+INF = float("inf")
+
+
+def make_store(**kw):
+    return UpdateParams(MIN, INF, **kw)
+
+
+def test_declared_defaults():
+    params = make_store()
+    params.declare([1, 2])
+    assert params.get(1) == INF
+    assert params.declared == {1, 2}
+    assert len(params) == 2
+
+
+def test_declare_with_initial_values():
+    params = UpdateParams(SET_INTERSECT, None)
+    params.declare([1, 2], initial={1: frozenset({"a"})})
+    assert params.get(1) == {"a"}
+    assert params.get(2) is None
+    assert params.consume_changes() == {}  # declaration is not a change
+
+
+def test_set_tracks_changes():
+    params = make_store()
+    params.declare([1])
+    assert params.set(1, 5.0) is True
+    assert params.consume_changes() == {1: 5.0}
+    assert params.consume_changes() == {}  # cleared
+
+
+def test_set_equal_value_is_not_a_change():
+    params = make_store()
+    params.declare([1])
+    params.set(1, 5.0)
+    params.consume_changes()
+    assert params.set(1, 5.0) is False
+    assert params.consume_changes() == {}
+
+
+def test_set_undeclared_raises():
+    params = make_store()
+    with pytest.raises(ProgramError):
+        params.set(99, 1.0)
+
+
+def test_setitem_getitem():
+    params = make_store()
+    params.declare([1])
+    params[1] = 2.0
+    assert params[1] == 2.0
+
+
+def test_improve_goes_through_aggregator():
+    params = make_store()
+    params.declare([1])
+    params.set(1, 5.0)
+    params.consume_changes()
+    assert params.improve(1, 7.0) is False  # min keeps 5
+    assert params.get(1) == 5.0
+    assert params.improve(1, 3.0) is True
+    assert params.consume_changes() == {1: 3.0}
+
+
+def test_apply_remote_aggregates():
+    params = make_store()
+    params.declare([1])
+    params.set(1, 5.0)
+    params.consume_changes()
+    assert params.apply_remote(1, 8.0) is False  # worse: no change
+    assert params.apply_remote(1, 2.0) is True
+    assert params.get(1) == 2.0
+
+
+def test_apply_remote_does_not_mark_for_send():
+    params = make_store()
+    params.declare([1])
+    params.apply_remote(1, 2.0)
+    assert params.consume_changes() == {}  # no echo
+
+
+def test_apply_remote_lazily_declares():
+    params = make_store()
+    assert params.apply_remote(42, 1.0) is True
+    assert params.is_declared(42)
+
+
+def test_local_improvement_after_remote_is_shipped():
+    params = make_store()
+    params.declare([1])
+    params.apply_remote(1, 5.0)
+    params.improve(1, 3.0)
+    assert params.consume_changes() == {1: 3.0}
+
+
+def test_on_write_observer_sees_all_writes():
+    seen = []
+    params = UpdateParams(MIN, INF, on_write=lambda v, o, n: seen.append((v, o, n)))
+    params.declare([1])
+    params.set(1, 5.0)
+    params.apply_remote(1, 2.0)
+    assert seen == [(1, INF, 5.0), (1, 5.0, 2.0)]
+
+
+def test_snapshot_copies():
+    params = make_store()
+    params.declare([1])
+    params.set(1, 4.0)
+    snap = params.snapshot()
+    snap[1] = 0.0
+    assert params.get(1) == 4.0
+
+
+def test_repr_mentions_aggregator():
+    params = make_store()
+    assert "min" in repr(params)

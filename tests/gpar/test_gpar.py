@@ -1,0 +1,150 @@
+"""Unit tests for GPAR patterns, rules, matcher and marketing pipeline."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.graph.digraph import Graph
+from repro.graph.fragment import build_fragments
+from repro.graph.generators import labeled_social
+from repro.gpar.marketing import (
+    example2_rule,
+    find_potential_customers,
+)
+from repro.gpar.matcher import find_rule_matches, match_pattern
+from repro.gpar.pattern import Pattern
+from repro.gpar.rule import GPAR, Quantifier
+from repro.partition.registry import get_partitioner
+
+
+def _fragd(graph, workers=3):
+    assignment = get_partitioner("hash")(graph, workers)
+    return build_fragments(graph, assignment, workers)
+
+
+def _toy_market() -> Graph:
+    """Hand-built Fig.-4-style graph with known rule outcomes."""
+    g = Graph()
+    g.add_vertex(100, label="product", name="phone")
+    for p in range(6):
+        g.add_vertex(p, label="person", name=f"p{p}")
+    # person 0 follows 1 and 2, both recommend the phone -> antecedent
+    g.add_edge(0, 1, label="follow")
+    g.add_edge(0, 2, label="follow")
+    g.add_edge(1, 100, label="recommend")
+    g.add_edge(2, 100, label="recommend")
+    # person 3 follows 4 (recommender) and 5 (bad rater) -> blocked
+    g.add_edge(3, 4, label="follow")
+    g.add_edge(3, 5, label="follow")
+    g.add_edge(4, 100, label="recommend")
+    g.add_edge(5, 100, label="rate_bad")
+    return g
+
+
+# -------------------------------------------------------------- pattern
+def test_pattern_builder_and_validation():
+    pat = Pattern(x="x", y="y").vertex("x", "person").vertex("y", "product")
+    pat.edge("x", "y", label="buy")
+    pat.validate()
+    assert pat.num_vertices == 2
+
+
+def test_pattern_missing_designated_raises():
+    pat = Pattern(x="x", y="y").vertex("x", "person")
+    with pytest.raises(QueryError):
+        pat.validate()
+
+
+# ----------------------------------------------------------------- rule
+def test_quantifier_at_least():
+    g = _toy_market()
+    q = Quantifier(over_label="follow", edge_label="recommend", at_least=0.8)
+    assert q.holds(g, 0, 100)      # 2/2 recommend
+    assert not q.holds(g, 3, 100)  # 1/2 recommend
+
+
+def test_quantifier_negation_at_most_zero():
+    g = _toy_market()
+    q = Quantifier(over_label="follow", edge_label="rate_bad", at_most=0.0)
+    assert q.holds(g, 0, 100)
+    assert not q.holds(g, 3, 100)
+
+
+def test_quantifier_empty_neighborhood_false():
+    g = _toy_market()
+    q = Quantifier(over_label="follow", edge_label="recommend")
+    assert not q.holds(g, 5, 100)  # person 5 follows nobody
+
+
+def test_rule_antecedent_combines_quantifiers():
+    g = _toy_market()
+    rule = example2_rule()
+    assert rule.antecedent_holds(g, 0, 100)
+    assert not rule.antecedent_holds(g, 3, 100)
+
+
+def test_rule_support_confidence():
+    g = _toy_market()
+    g.add_edge(0, 100, label="buy")
+    rule = example2_rule()
+    support, confidence = rule.support_confidence(
+        g, {(0, 100), (3, 100)}
+    )
+    assert support == 1
+    assert confidence == 0.5
+
+
+def test_rule_confidence_empty_candidates():
+    rule = example2_rule()
+    assert rule.support_confidence(_toy_market(), set()) == (0, 0.0)
+
+
+# -------------------------------------------------------------- matcher
+def test_match_pattern_finds_structural_pairs():
+    g = _toy_market()
+    pairs, result = match_pattern(g, _fragd(g), example2_rule().pattern)
+    # both 0 and 3 have follow->recommend chains to the phone
+    assert (0, 100) in pairs
+    assert (3, 100) in pairs
+    assert result.metrics.num_supersteps >= 1
+
+
+def test_find_rule_matches_applies_quantifiers():
+    g = _toy_market()
+    satisfied, _ = find_rule_matches(g, _fragd(g), example2_rule())
+    assert satisfied == {(0, 100)}
+
+
+def test_matcher_scales_with_workers_same_answer():
+    g = labeled_social(200, seed=1, interaction_prob=0.5)
+    rule = example2_rule(min_recommend_ratio=0.4)
+    a, _ = find_rule_matches(g, _fragd(g, 2), rule)
+    b, _ = find_rule_matches(g, _fragd(g, 5), rule)
+    assert a == b
+
+
+# ------------------------------------------------------------ marketing
+def test_campaign_excludes_existing_buyers():
+    g = _toy_market()
+    g.add_edge(0, 100, label="buy")
+    campaign = find_potential_customers(g, _fragd(g), [example2_rule()])
+    assert all(r.customer != 0 for r in campaign.recommendations)
+
+
+def test_campaign_ranks_by_confidence():
+    g = labeled_social(300, seed=2, interaction_prob=0.6)
+    rules = [
+        example2_rule(min_recommend_ratio=0.5),
+        example2_rule(min_recommend_ratio=0.25),
+    ]
+    rules[1].name = "looser-rule"
+    campaign = find_potential_customers(g, _fragd(g), rules)
+    confidences = [r.confidence for r in campaign.recommendations]
+    assert confidences == sorted(confidences, reverse=True)
+
+
+def test_campaign_stats_and_top():
+    g = _toy_market()
+    campaign = find_potential_customers(g, _fragd(g), [example2_rule()])
+    assert "example2-peer-recommendation" in campaign.rule_stats
+    assert len(campaign.top(1)) <= 1
+    assert campaign.total_time > 0

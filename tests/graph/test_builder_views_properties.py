@@ -1,0 +1,136 @@
+"""Unit tests for GraphBuilder, views and PropertyMap."""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import Graph
+from repro.graph.properties import PropertyMap
+from repro.graph.views import (
+    ego_subgraph,
+    filter_by_label,
+    filter_vertices,
+    largest_connected_component,
+)
+
+
+# ------------------------------------------------------------ builder
+def test_builder_collects_edges_and_vertices():
+    g = GraphBuilder().edge(1, 2).edge(2, 3, weight=4.0).build()
+    assert g.num_vertices == 3
+    assert g.edge_weight(2, 3) == 4.0
+
+
+def test_builder_vertex_metadata():
+    g = (
+        GraphBuilder()
+        .vertex(1, label="person", name="ann")
+        .edge(1, 2)
+        .build()
+    )
+    assert g.vertex_label(1) == "person"
+    assert g.vertex_props(1)["name"] == "ann"
+
+
+def test_builder_vertex_merge_keeps_label():
+    b = GraphBuilder().vertex(1, label="a", x=1).vertex(1, y=2)
+    g = b.build()
+    assert g.vertex_label(1) == "a"
+    assert g.vertex_props(1) == {"x": 1, "y": 2}
+
+
+def test_builder_relabel_dense_ids():
+    b = GraphBuilder(relabel=True)
+    b.edge("u", "v").edge("v", "w")
+    g = b.build()
+    assert set(g.vertices()) == {0, 1, 2}
+    assert b.id_map["u"] == 0
+
+
+def test_builder_edges_bulk():
+    g = GraphBuilder().edges([(1, 2), (2, 3)]).build()
+    assert g.num_edges == 2
+
+
+def test_builder_undirected():
+    g = GraphBuilder(directed=False).edge(1, 2).build()
+    assert g.has_edge(2, 1)
+
+
+# -------------------------------------------------------------- views
+def _chain() -> Graph:
+    g = Graph()
+    for i in range(5):
+        g.add_edge(i, i + 1)
+    return g
+
+
+def test_ego_radius_zero_is_center_only():
+    sub = ego_subgraph(_chain(), 2, 0)
+    assert set(sub.vertices()) == {2}
+
+
+def test_ego_radius_counts_both_directions():
+    sub = ego_subgraph(_chain(), 2, 1)
+    assert set(sub.vertices()) == {1, 2, 3}
+
+
+def test_ego_keeps_internal_edges():
+    sub = ego_subgraph(_chain(), 2, 2)
+    assert sub.has_edge(1, 2) and sub.has_edge(2, 3)
+
+
+def test_filter_vertices_predicate():
+    sub = filter_vertices(_chain(), lambda v: v % 2 == 0)
+    assert set(sub.vertices()) == {0, 2, 4}
+    assert sub.num_edges == 0
+
+
+def test_filter_by_label():
+    g = Graph()
+    g.add_vertex(1, label="a")
+    g.add_vertex(2, label="b")
+    g.add_edge(1, 2)
+    sub = filter_by_label(g, {"a"})
+    assert set(sub.vertices()) == {1}
+
+
+def test_largest_connected_component():
+    g = Graph()
+    g.add_edge(0, 1)
+    g.add_edge(1, 2)
+    g.add_edge(10, 11)
+    comp = largest_connected_component(g)
+    assert set(comp.vertices()) == {0, 1, 2}
+
+
+# ---------------------------------------------------------- property map
+def test_property_map_default():
+    pm = PropertyMap("dist", default=float("inf"))
+    assert pm[99] == float("inf")
+    pm[1] = 3.0
+    assert pm[1] == 3.0
+    assert 1 in pm and 99 not in pm
+
+
+def test_property_map_merge_other_wins():
+    a = PropertyMap("x", data={1: 1, 2: 2})
+    b = PropertyMap("x", data={2: 20, 3: 30})
+    merged = a.merge(b)
+    assert merged.as_dict() == {1: 1, 2: 20, 3: 30}
+
+
+def test_property_map_merge_resolver():
+    a = PropertyMap("x", data={1: 5})
+    b = PropertyMap("x", data={1: 3})
+    merged = a.merge(b, resolve=min)
+    assert merged[1] == 3
+
+
+def test_property_map_equality():
+    assert PropertyMap("a", data={1: 2}) == PropertyMap("b", data={1: 2})
+    assert PropertyMap("a", data={1: 2}) != PropertyMap("a", data={1: 3})
+
+
+def test_property_map_iteration():
+    pm = PropertyMap("x", data={1: "a", 2: "b"})
+    assert sorted(pm) == [1, 2]
+    assert dict(pm.items()) == {1: "a", 2: "b"}
+    assert len(pm) == 2

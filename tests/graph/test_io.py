@@ -1,0 +1,138 @@
+"""Unit tests for graph readers/writers (edge list, DIMACS, METIS, JSON)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.digraph import Graph
+from repro.graph.io import (
+    from_edges,
+    read_dimacs,
+    read_edge_list,
+    read_json,
+    read_metis,
+    write_dimacs,
+    write_edge_list,
+    write_json,
+    write_metis,
+)
+
+
+def _sample() -> Graph:
+    g = Graph()
+    g.add_edge(1, 2, 3.0)
+    g.add_edge(2, 3, 1.5)
+    g.add_vertex(4)
+    return g
+
+
+def test_edge_list_roundtrip(tmp_path):
+    path = tmp_path / "g.txt"
+    write_edge_list(_sample(), path)
+    g = read_edge_list(path, weighted=True)
+    assert g.edge_weight(1, 2) == 3.0
+    assert g.edge_weight(2, 3) == 1.5
+    assert g.num_edges == 2
+
+
+def test_edge_list_comments_and_blanks(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("# comment\n\n% other\n1 2\n")
+    g = read_edge_list(path)
+    assert g.has_edge(1, 2)
+
+
+def test_edge_list_unweighted_defaults_to_one(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("1 2 9.9\n")
+    g = read_edge_list(path, weighted=False)
+    assert g.edge_weight(1, 2) == 1.0
+
+
+def test_edge_list_bad_line_raises(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("justone\n")
+    with pytest.raises(GraphError):
+        read_edge_list(path)
+
+
+def test_edge_list_string_ids(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("alice bob\n")
+    g = read_edge_list(path)
+    assert g.has_edge("alice", "bob")
+
+
+def test_dimacs_roundtrip(tmp_path):
+    path = tmp_path / "g.gr"
+    write_dimacs(_sample(), path)
+    g = read_dimacs(path)
+    assert g.edge_weight(1, 2) == 3.0
+    assert g.num_vertices == 4  # declared count padded
+
+
+def test_dimacs_bad_header(tmp_path):
+    path = tmp_path / "g.gr"
+    path.write_text("p xx 2 1\n")
+    with pytest.raises(GraphError):
+        read_dimacs(path)
+
+
+def test_dimacs_unknown_record(tmp_path):
+    path = tmp_path / "g.gr"
+    path.write_text("z 1 2 3\n")
+    with pytest.raises(GraphError):
+        read_dimacs(path)
+
+
+def test_dimacs_comments_skipped(tmp_path):
+    path = tmp_path / "g.gr"
+    path.write_text("c hello\np sp 2 1\na 1 2 5\n")
+    g = read_dimacs(path)
+    assert g.edge_weight(1, 2) == 5.0
+
+
+def test_metis_roundtrip(tmp_path):
+    g = Graph(directed=False)
+    g.add_edge(0, 1)
+    g.add_edge(1, 2)
+    path = tmp_path / "g.metis"
+    write_metis(g, path)
+    h = read_metis(path)
+    assert h.num_vertices == 3
+    assert h.has_edge(0, 1) and h.has_edge(1, 0)
+    assert h.num_edges == 2
+
+
+def test_json_roundtrip_preserves_properties(tmp_path):
+    g = Graph()
+    g.add_vertex(1, label="person", name="ann")
+    g.add_edge(1, 2, 2.5, label="follows")
+    path = tmp_path / "g.json"
+    write_json(g, path)
+    h = read_json(path)
+    assert h.vertex_label(1) == "person"
+    assert h.vertex_props(1) == {"name": "ann"}
+    assert h.edge_label(1, 2) == "follows"
+    assert h.edge_weight(1, 2) == 2.5
+    assert h.directed
+
+
+def test_json_roundtrip_undirected(tmp_path):
+    g = Graph(directed=False)
+    g.add_edge(1, 2)
+    path = tmp_path / "g.json"
+    write_json(g, path)
+    h = read_json(path)
+    assert not h.directed
+    assert h.has_edge(2, 1)
+
+
+def test_from_edges_pairs():
+    g = from_edges([(1, 2), (2, 3)])
+    assert g.num_edges == 2
+    assert g.edge_weight(1, 2) == 1.0
+
+
+def test_from_edges_triples():
+    g = from_edges([(1, 2, 9.0)])
+    assert g.edge_weight(1, 2) == 9.0

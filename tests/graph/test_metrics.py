@@ -1,0 +1,72 @@
+"""Unit tests for structural graph metrics."""
+
+from repro.graph.digraph import Graph
+from repro.graph.generators import cycle_graph, path_graph, star_graph
+from repro.graph.metrics import (
+    average_degree,
+    bfs_layers,
+    degree_histogram,
+    edge_cut,
+    eccentricity,
+    estimate_diameter,
+    max_degree,
+    partition_balance,
+)
+
+
+def test_degree_histogram():
+    hist = degree_histogram(star_graph(5))
+    assert hist == {4: 1, 0: 4}
+
+
+def test_average_degree():
+    assert average_degree(path_graph(5)) == 4 / 5
+    assert average_degree(Graph()) == 0.0
+
+
+def test_max_degree():
+    assert max_degree(star_graph(7)) == 6
+    assert max_degree(Graph()) == 0
+
+
+def test_bfs_layers_path():
+    layers = bfs_layers(path_graph(4), 0)
+    assert layers == {0: 0, 1: 1, 2: 2, 3: 3}
+
+
+def test_bfs_layers_unreachable_omitted():
+    g = Graph()
+    g.add_edge(0, 1)
+    g.add_vertex(9)
+    assert 9 not in bfs_layers(g, 0)
+
+
+def test_eccentricity():
+    assert eccentricity(path_graph(6), 0) == 5
+    assert eccentricity(path_graph(6), 5) == 0
+
+
+def test_estimate_diameter_path_exact():
+    # Double sweep finds the true diameter on a path.
+    assert estimate_diameter(path_graph(10)) >= 9
+
+
+def test_estimate_diameter_cycle():
+    assert estimate_diameter(cycle_graph(8)) >= 7  # directed cycle depth
+
+
+def test_estimate_diameter_empty():
+    assert estimate_diameter(Graph()) == 0
+
+
+def test_edge_cut_counts_crossings():
+    g = path_graph(4)
+    assignment = {0: 0, 1: 0, 2: 1, 3: 1}
+    assert edge_cut(g, assignment) == 1
+    assert edge_cut(g, {v: 0 for v in g.vertices()}) == 0
+
+
+def test_partition_balance_perfect_and_skewed():
+    g = path_graph(4)
+    assert partition_balance(g, {0: 0, 1: 0, 2: 1, 3: 1}, 2) == 1.0
+    assert partition_balance(g, {0: 0, 1: 0, 2: 0, 3: 1}, 2) == 1.5

@@ -1,0 +1,31 @@
+"""Every example script runs to completion and prints its key output."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+CASES = {
+    "quickstart.py": "phase breakdown",
+    "road_network_sssp.py": "0 incorrect distances",
+    "social_marketing_gpar.py": "potential customers",
+    "plug_and_play_custom.py": "matches the sequential algorithm",
+    "partition_playground.py": "Takeaway",
+    "dynamic_updates.py": "0 mismatches",
+    "fault_tolerance.py": "0 mismatches",
+}
+
+
+@pytest.mark.parametrize("script", sorted(CASES))
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert CASES[script] in proc.stdout

@@ -1,0 +1,102 @@
+"""Integration: storage round-trips feed the engine; ablations hold."""
+
+import pytest
+
+from repro.algorithms.sssp import SSSPProgram, SSSPQuery
+from repro.algorithms.subiso import SubIsoProgram, SubIsoQuery
+from repro.core.engine import GrapeEngine
+from repro.graph.digraph import Graph
+from repro.graph.fragment import build_fragments, expand_fragments
+from repro.graph.generators import labeled_social, road_network
+from repro.partition.registry import get_partitioner
+from repro.storage.balancer import LoadBalancer, WorkloadEstimate
+from repro.storage.catalog import Catalog
+from repro.storage.dfs import SimulatedDFS
+
+
+def test_query_on_reloaded_partition_matches(tmp_path):
+    """Save graph + partition to DFS, reload, run — identical answer."""
+    g = road_network(6, 6, seed=1)
+    fragd = build_fragments(g, get_partitioner("bfs")(g, 3), 3, "bfs")
+    catalog = Catalog(SimulatedDFS(tmp_path))
+    catalog.save_graph("road", g)
+    catalog.save_partition("road", "bfs3", fragd)
+
+    reloaded = catalog.load_partition("road", "bfs3")
+    fresh = GrapeEngine(fragd).run(SSSPProgram(), SSSPQuery(source=0))
+    again = GrapeEngine(reloaded).run(SSSPProgram(), SSSPQuery(source=0))
+    assert fresh.answer == again.answer
+
+
+def test_rebalanced_assignment_still_correct():
+    g = labeled_social(150, seed=2)
+    skewed = {v: (0 if i < 120 else 1) for i, v in enumerate(g.vertices())}
+    balanced = LoadBalancer(tolerance=1.1).rebalance(g, skewed, 2)
+    fragd = build_fragments(g, balanced, 2, "rebalanced")
+    result = GrapeEngine(fragd).run(SSSPProgram(), SSSPQuery(source=0))
+    from repro.algorithms.sequential.dijkstra import INF, single_source
+
+    oracle = single_source(g, 0)
+    for v in g.vertices():
+        got = result.answer.get(v, INF)
+        assert got == pytest.approx(oracle[v]) or (
+            got == INF and oracle[v] == INF
+        )
+
+
+def test_rebalancing_reduces_makespan_estimate():
+    g = labeled_social(200, seed=3)
+    skewed = {v: (0 if i < 170 else 1) for i, v in enumerate(g.vertices())}
+    before = WorkloadEstimate.from_assignment(g, skewed, 2).imbalance
+    balanced = LoadBalancer(tolerance=1.05).rebalance(g, skewed, 2)
+    after = WorkloadEstimate.from_assignment(g, balanced, 2).imbalance
+    assert after < before
+
+
+def test_expansion_cost_grows_with_radius():
+    """The SubIso replication trade-off: radius buys locality with space."""
+    g = labeled_social(200, seed=4)
+    fragd = build_fragments(g, get_partitioner("hash")(g, 4), 4)
+    sizes = []
+    for radius in (0, 1, 2):
+        exp = expand_fragments(g, fragd, radius)
+        sizes.append(
+            sum(f.graph.num_vertices for f in exp.fragments)
+        )
+    assert sizes[0] < sizes[1] <= sizes[2]
+
+
+def test_subiso_scales_down_peval_makespan():
+    """Fig. 4 claim: more workers -> faster potential-customer search."""
+    g = labeled_social(500, seed=5, interaction_prob=0.5)
+    pattern = Graph()
+    pattern.add_vertex("x", label="person")
+    pattern.add_vertex("z", label="person")
+    pattern.add_vertex("y", label="product")
+    pattern.add_edge("x", "z", label="follow")
+    pattern.add_edge("z", "y", label="recommend")
+    query = SubIsoQuery(pattern=pattern, pivot="x")
+
+    makespans = {}
+    for workers in (1, 8):
+        fragd = build_fragments(
+            g, get_partitioner("hash")(g, workers), workers
+        )
+        exp = expand_fragments(g, fragd, query.radius())
+        result = GrapeEngine(exp).run(SubIsoProgram(), query)
+        makespans[workers] = result.metrics.phase_time("peval")
+    assert makespans[8] < makespans[1]
+
+
+def test_more_workers_do_not_change_answers():
+    g = road_network(8, 8, seed=6)
+    answers = []
+    for workers in (1, 2, 6):
+        fragd = build_fragments(
+            g, get_partitioner("hash")(g, workers), workers
+        )
+        result = GrapeEngine(fragd).run(SSSPProgram(), SSSPQuery(source=0))
+        answers.append(
+            {v: round(d, 9) for v, d in result.answer.items() if d < 1e17}
+        )
+    assert answers[0] == answers[1] == answers[2]

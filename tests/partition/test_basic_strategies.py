@@ -1,0 +1,135 @@
+"""Unit tests for hash/range/2D/BFS partitioners and validation."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph.digraph import Graph
+from repro.graph.generators import path_graph, power_law, road_network
+from repro.partition.base import Partitioner, evaluate_partition
+from repro.partition.bfs import BFSPartitioner
+from repro.partition.grid2d import Grid2DPartitioner, _grid_shape
+from repro.partition.hash1d import HashPartitioner
+from repro.partition.range1d import RangePartitioner
+
+
+ALL = [HashPartitioner, RangePartitioner, Grid2DPartitioner, BFSPartitioner]
+
+
+@pytest.mark.parametrize("cls", ALL)
+def test_every_vertex_assigned_in_range(cls):
+    g = power_law(150, m_per_node=3, seed=1)
+    assignment = cls()(g, 5)
+    assert set(assignment) == set(g.vertices())
+    assert all(0 <= f < 5 for f in assignment.values())
+
+
+@pytest.mark.parametrize("cls", ALL)
+def test_single_part_everything_zero(cls):
+    g = path_graph(10)
+    assignment = cls()(g, 1)
+    assert set(assignment.values()) == {0}
+
+
+@pytest.mark.parametrize("cls", ALL)
+def test_deterministic(cls):
+    g = power_law(100, seed=2)
+    assert cls()(g, 4) == cls()(g, 4)
+
+
+def test_hash_balance_reasonable():
+    g = power_law(600, seed=3)
+    report = evaluate_partition(g, HashPartitioner()(g, 6), 6, "hash")
+    assert report.balance < 1.3
+
+
+def test_range_contiguous_chunks():
+    g = path_graph(10)
+    assignment = RangePartitioner()(g, 2)
+    assert [assignment[v] for v in range(10)] == [0] * 5 + [1] * 5
+
+
+def test_range_preserves_path_locality():
+    g = path_graph(100)
+    report = evaluate_partition(g, RangePartitioner()(g, 4), 4, "range")
+    assert report.cut_edges == 3  # one cut per boundary
+
+
+def test_grid_shape_square():
+    assert _grid_shape(4) == (2, 2)
+    assert _grid_shape(6) == (2, 3)
+    rows, cols = _grid_shape(7)
+    assert rows * cols >= 7
+
+
+def test_bfs_parts_mostly_connected_on_connected_graph():
+    # A part may pick up a second region when its BFS gets walled in by
+    # already-assigned vertices; it must stay a small number of regions,
+    # not hash-partition confetti.
+    g = road_network(8, 8, seed=4, removal_prob=0.0)
+    assignment = BFSPartitioner()(g, 4)
+    for part in range(4):
+        members = {v for v, f in assignment.items() if f == part}
+        sub = g.subgraph(members)
+        # count components of the part
+        seen = set()
+        comps = 0
+        for v in members:
+            if v in seen:
+                continue
+            comps += 1
+            stack = [v]
+            while stack:
+                x = stack.pop()
+                if x in seen:
+                    continue
+                seen.add(x)
+                stack.extend(u for u in sub.neighbors(x) if u not in seen)
+        assert comps <= 3
+
+
+def test_bfs_beats_hash_on_road_cut():
+    g = road_network(10, 10, seed=5)
+    hash_cut = evaluate_partition(g, HashPartitioner()(g, 4), 4).cut_edges
+    bfs_cut = evaluate_partition(g, BFSPartitioner()(g, 4), 4).cut_edges
+    assert bfs_cut < hash_cut
+
+
+def test_validation_rejects_partial_assignment():
+    class Broken(Partitioner):
+        name = "broken"
+
+        def partition(self, graph, num_parts):
+            return {}
+
+    g = path_graph(3)
+    with pytest.raises(PartitionError):
+        Broken()(g, 2)
+
+
+def test_validation_rejects_bad_ids():
+    class Broken(Partitioner):
+        name = "broken"
+
+        def partition(self, graph, num_parts):
+            return {v: 99 for v in graph.vertices()}
+
+    with pytest.raises(PartitionError):
+        Broken()(path_graph(3), 2)
+
+
+def test_zero_parts_rejected():
+    with pytest.raises(PartitionError):
+        HashPartitioner()(path_graph(3), 0)
+
+
+def test_report_string_fields():
+    g = path_graph(4)
+    report = evaluate_partition(g, {0: 0, 1: 0, 2: 1, 3: 1}, 2, "manual")
+    assert report.cut_fraction == pytest.approx(1 / 3)
+    text = str(report)
+    assert "manual" in text and "cut=1/3" in text
+
+
+def test_report_empty_graph():
+    report = evaluate_partition(Graph(), {}, 2, "x")
+    assert report.cut_fraction == 0.0

@@ -1,0 +1,71 @@
+"""Unit tests for LDG and Fennel streaming partitioners."""
+
+import pytest
+
+from repro.graph.generators import power_law, road_network
+from repro.partition.base import evaluate_partition
+from repro.partition.hash1d import HashPartitioner
+from repro.partition.streaming import FennelPartitioner, LDGPartitioner
+
+
+@pytest.mark.parametrize("cls", [LDGPartitioner, FennelPartitioner])
+def test_total_and_valid(cls):
+    g = power_law(200, seed=1)
+    assignment = cls()(g, 4)
+    assert set(assignment) == set(g.vertices())
+    assert all(0 <= f < 4 for f in assignment.values())
+
+
+@pytest.mark.parametrize("cls", [LDGPartitioner, FennelPartitioner])
+def test_capacity_respected(cls):
+    g = power_law(200, seed=2)
+    assignment = cls()(g, 4)
+    report = evaluate_partition(g, assignment, 4)
+    assert report.balance <= 1.35  # 10% slack + rounding
+
+
+@pytest.mark.parametrize("cls", [LDGPartitioner, FennelPartitioner])
+def test_beats_hash_on_cut(cls):
+    g = road_network(12, 12, seed=3)
+    hash_cut = evaluate_partition(g, HashPartitioner()(g, 4), 4).cut_edges
+    stream_cut = evaluate_partition(g, cls()(g, 4), 4).cut_edges
+    assert stream_cut < hash_cut
+
+
+def test_ldg_deterministic_given_seed():
+    g = power_law(120, seed=4)
+    a = LDGPartitioner(seed=5, shuffle=True)(g, 3)
+    b = LDGPartitioner(seed=5, shuffle=True)(g, 3)
+    assert a == b
+
+
+def test_ldg_shuffle_changes_order_effect():
+    g = power_law(120, seed=4)
+    natural = LDGPartitioner(shuffle=False)(g, 3)
+    shuffled = LDGPartitioner(seed=99, shuffle=True)(g, 3)
+    assert natural != shuffled  # overwhelmingly likely
+
+
+def test_fennel_gamma_affects_result():
+    g = power_law(150, seed=6)
+    a = FennelPartitioner(gamma=1.2)(g, 4)
+    b = FennelPartitioner(gamma=2.0)(g, 4)
+    assert a != b
+
+
+def test_fennel_slack_bounds_largest_part():
+    g = power_law(200, seed=7)
+    tight = FennelPartitioner(slack=1.05)(g, 4)
+    report = evaluate_partition(g, tight, 4)
+    assert report.balance <= 1.3
+
+
+def test_streaming_handles_isolated_vertices():
+    from repro.graph.digraph import Graph
+
+    g = Graph()
+    for v in range(10):
+        g.add_vertex(v)
+    for cls in (LDGPartitioner, FennelPartitioner):
+        assignment = cls()(g, 3)
+        assert set(assignment) == set(range(10))

@@ -1,0 +1,94 @@
+"""Tests for vertex-cut (edge) partitioning and replication metrics."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph.digraph import Graph
+from repro.graph.generators import power_law, star_graph
+from repro.partition.vertexcut import (
+    EdgePartitioner,
+    GreedyEdgeCut,
+    RandomEdgeCut,
+    replication_factor,
+    vertex_cut_report,
+    vertex_replicas,
+)
+
+
+@pytest.mark.parametrize("cls", [RandomEdgeCut, GreedyEdgeCut])
+def test_assignment_total_and_valid(cls):
+    g = power_law(120, seed=1)
+    assignment = cls()(g, 4)
+    assert len(assignment) == g.num_edges
+    assert all(0 <= p < 4 for p in assignment.values())
+
+
+@pytest.mark.parametrize("cls", [RandomEdgeCut, GreedyEdgeCut])
+def test_single_part(cls):
+    g = power_law(50, seed=2)
+    assignment = cls()(g, 1)
+    assert set(assignment.values()) == {0}
+    assert replication_factor(g, assignment) == 1.0
+
+
+def test_replication_factor_star_single_part_is_one():
+    g = star_graph(10)
+    assignment = GreedyEdgeCut()(g, 1)
+    assert replication_factor(g, assignment) == 1.0
+
+
+def test_replication_counts_both_endpoints():
+    g = Graph()
+    g.add_edge(0, 1)
+    g.add_edge(0, 2)
+    assignment = {(0, 1): 0, (0, 2): 1}
+    replicas = vertex_replicas(g, assignment)
+    assert replicas[0] == {0, 1}
+    assert replicas[1] == {0}
+    assert replication_factor(g, assignment) == pytest.approx(4 / 3)
+
+
+def test_isolated_vertices_excluded_from_factor():
+    g = Graph()
+    g.add_edge(0, 1)
+    g.add_vertex(9)
+    assignment = {(0, 1): 0}
+    assert replication_factor(g, assignment) == 1.0
+
+
+def test_greedy_beats_random_on_replication():
+    g = power_law(300, m_per_node=4, seed=3)
+    random_rep = replication_factor(g, RandomEdgeCut()(g, 8))
+    greedy_rep = replication_factor(g, GreedyEdgeCut()(g, 8))
+    assert greedy_rep < random_rep
+
+
+def test_greedy_balance_reasonable():
+    g = power_law(200, seed=4)
+    report = vertex_cut_report(g, GreedyEdgeCut()(g, 4), 4, "greedy")
+    assert report.balance < 1.7
+    assert "replication" in str(report)
+
+
+def test_validation_rejects_partial_assignment():
+    class Broken(EdgePartitioner):
+        name = "broken"
+
+        def partition_edges(self, graph, num_parts):
+            return {}
+
+    g = Graph()
+    g.add_edge(0, 1)
+    with pytest.raises(PartitionError):
+        Broken()(g, 2)
+
+
+def test_zero_parts_rejected():
+    with pytest.raises(PartitionError):
+        RandomEdgeCut()(Graph(), 0)
+
+
+def test_empty_graph_report():
+    report = vertex_cut_report(Graph(), {}, 3, "x")
+    assert report.replication == 0.0
+    assert report.balance == 1.0

@@ -1,0 +1,108 @@
+"""Property-based tests for pattern matching against brute-force oracles.
+
+VF2 and the simulation refinement are checked on tiny random labeled
+graphs against direct-from-definition implementations (enumerate all
+injective mappings; verify the simulation condition pointwise).
+"""
+
+from itertools import permutations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.sequential.simulation_seq import graph_simulation
+from repro.algorithms.sequential.vf2 import find_subgraph_isomorphisms
+from repro.graph.digraph import Graph
+
+SLOW = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+LABELS = ["a", "b"]
+
+
+@st.composite
+def labeled_digraph(draw, max_n=5, prefix=""):
+    n = draw(st.integers(1, max_n))
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(f"{prefix}{v}", label=draw(st.sampled_from(LABELS)))
+    for u in range(n):
+        for v in range(n):
+            if u != v and draw(st.booleans()):
+                g.add_edge(f"{prefix}{u}", f"{prefix}{v}")
+    return g
+
+
+def brute_force_isomorphisms(pattern: Graph, graph: Graph):
+    """All injective label/edge-preserving mappings, by enumeration."""
+    p_vs = list(pattern.vertices())
+    g_vs = list(graph.vertices())
+    if len(p_vs) > len(g_vs):
+        return set()
+    out = set()
+    for image in permutations(g_vs, len(p_vs)):
+        mapping = dict(zip(p_vs, image))
+        ok = all(
+            pattern.vertex_label(pv) in (None, graph.vertex_label(gv))
+            for pv, gv in mapping.items()
+        ) and all(
+            graph.has_edge(mapping[e.src], mapping[e.dst])
+            for e in pattern.edges()
+        )
+        if ok:
+            out.add(tuple(sorted(mapping.items())))
+    return out
+
+
+@SLOW
+@given(labeled_digraph(max_n=3, prefix="p"), labeled_digraph(max_n=5))
+def test_vf2_equals_bruteforce(pattern, graph):
+    got = {
+        tuple(sorted(m.items()))
+        for m in find_subgraph_isomorphisms(pattern, graph)
+    }
+    assert got == brute_force_isomorphisms(pattern, graph)
+
+
+def simulation_condition_holds(pattern, graph, relation):
+    """Check the simulation definition pointwise on a candidate relation."""
+    for u in pattern.vertices():
+        for v in relation[u]:
+            if pattern.vertex_label(u) not in (None, graph.vertex_label(v)):
+                return False
+            for u_child in pattern.out_neighbors(u):
+                if not any(
+                    w in relation[u_child]
+                    for w in graph.out_neighbors(v)
+                ):
+                    return False
+    return True
+
+
+@SLOW
+@given(labeled_digraph(max_n=3, prefix="p"), labeled_digraph(max_n=5))
+def test_simulation_is_a_simulation_and_maximal(pattern, graph):
+    relation = graph_simulation(graph, pattern)
+    # 1. it satisfies the simulation condition
+    assert simulation_condition_holds(pattern, graph, relation)
+    # 2. maximality: no excluded pair can be added back consistently —
+    #    check single-pair additions (sound, since the maximum simulation
+    #    is the union of all simulations: any valid pair belongs to it).
+    for u in pattern.vertices():
+        for v in graph.vertices():
+            if v in relation[u]:
+                continue
+            extended = {k: set(vals) for k, vals in relation.items()}
+            extended[u].add(v)
+            assert not simulation_condition_holds(pattern, graph, extended)
+
+
+@SLOW
+@given(labeled_digraph(max_n=4))
+def test_identity_pattern_simulates_itself(graph):
+    relation = graph_simulation(graph, graph)
+    for u in graph.vertices():
+        assert u in relation[u]  # every vertex simulates itself

@@ -1,0 +1,82 @@
+"""Property-based tests: more PIE programs equal their oracles on
+random graphs under random partitions (BFS, k-core, keyword)."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.bfs import BFSProgram, BFSQuery, INF
+from repro.algorithms.kcore import KCoreProgram, KCoreQuery
+from repro.algorithms.keyword import KeywordProgram, KeywordQuery
+from repro.algorithms.sequential.keyword_seq import keyword_cover_roots
+from repro.algorithms.sequential.kcore_seq import core_numbers
+from repro.core.engine import GrapeEngine
+from repro.graph.digraph import Graph
+from repro.graph.fragment import build_fragments
+from repro.graph.metrics import bfs_layers
+
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graph_and_assignment(draw, symmetric=False, labels=None):
+    n = draw(st.integers(2, 20))
+    m = draw(st.integers(0, 3 * n))
+    pairs = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    parts = draw(st.integers(1, 4))
+    g = Graph()
+    for v in range(n):
+        label = draw(st.sampled_from(labels)) if labels else None
+        g.add_vertex(v, label=label)
+    for u, v in pairs:
+        if u != v:
+            g.add_edge(u, v)
+            if symmetric:
+                g.add_edge(v, u)
+    assignment = {v: draw(st.integers(0, parts - 1)) for v in range(n)}
+    return g, assignment, parts
+
+
+@SLOW
+@given(graph_and_assignment())
+def test_bfs_equals_layers(case):
+    g, assignment, parts = case
+    fragd = build_fragments(g, assignment, parts)
+    result = GrapeEngine(fragd, check_monotonic=True).run(
+        BFSProgram(), BFSQuery(source=0)
+    )
+    oracle = bfs_layers(g, 0)
+    got = {v: d for v, d in result.answer.items() if d < INF}
+    assert got == {v: float(d) for v, d in oracle.items()}
+
+
+@SLOW
+@given(graph_and_assignment(symmetric=True))
+def test_kcore_equals_peeling(case):
+    g, assignment, parts = case
+    fragd = build_fragments(g, assignment, parts)
+    result = GrapeEngine(fragd, check_monotonic=True).run(
+        KCoreProgram(), KCoreQuery()
+    )
+    assert result.answer == core_numbers(g)
+
+
+@SLOW
+@given(graph_and_assignment(labels=["a", "b", "c"]), st.integers(0, 4))
+def test_keyword_equals_cover_roots(case, radius):
+    g, assignment, parts = case
+    fragd = build_fragments(g, assignment, parts)
+    query = KeywordQuery(keywords=("a", "b"), radius=radius)
+    result = GrapeEngine(fragd, check_monotonic=True).run(
+        KeywordProgram(), query
+    )
+    assert result.answer == keyword_cover_roots(g, ["a", "b"], radius)

@@ -1,0 +1,190 @@
+"""Tests for the compressed graph codec and its catalog integration."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.graph.digraph import Graph
+from repro.graph.generators import (
+    community_graph,
+    labeled_random,
+    power_law,
+    road_network,
+)
+from repro.storage.catalog import Catalog
+from repro.storage.compression import (
+    compression_ratio,
+    decode_graph,
+    decode_varint,
+    encode_graph,
+    encode_varint,
+    unzigzag,
+    zigzag,
+)
+from repro.storage.dfs import SimulatedDFS
+
+
+# -------------------------------------------------------------- varints
+@pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**21, 2**40])
+def test_varint_roundtrip(value):
+    buf = bytearray()
+    encode_varint(value, buf)
+    decoded, pos = decode_varint(bytes(buf), 0)
+    assert decoded == value
+    assert pos == len(buf)
+
+
+def test_varint_negative_rejected():
+    with pytest.raises(StorageError):
+        encode_varint(-1, bytearray())
+
+
+def test_varint_sequence():
+    buf = bytearray()
+    for v in (5, 1000, 0):
+        encode_varint(v, buf)
+    data = bytes(buf)
+    out = []
+    pos = 0
+    for _ in range(3):
+        v, pos = decode_varint(data, pos)
+        out.append(v)
+    assert out == [5, 1000, 0]
+
+
+@pytest.mark.parametrize("value", [0, 1, -1, 2, -2, 1000, -1000])
+def test_zigzag_roundtrip(value):
+    assert unzigzag(zigzag(value)) == value
+    assert zigzag(value) >= 0
+
+
+# ---------------------------------------------------------------- codec
+def _structurally_equal(a: Graph, b: Graph) -> bool:
+    if (a.directed, a.num_vertices, a.num_edges) != (
+        b.directed, b.num_vertices, b.num_edges,
+    ):
+        return False
+    if set(a.vertices()) != set(b.vertices()):
+        return False
+    for v in a.vertices():
+        if a.vertex_label(v) != b.vertex_label(v):
+            return False
+    for e in a.edges():
+        if not b.has_edge(e.src, e.dst):
+            return False
+        if b.edge_weight(e.src, e.dst) != pytest.approx(e.weight):
+            return False
+        if b.edge_label(e.src, e.dst) != e.label:
+            return False
+    return True
+
+
+@pytest.mark.parametrize(
+    "graph",
+    [
+        road_network(8, 8, seed=1),
+        power_law(120, seed=2),
+        community_graph(150, num_communities=5, seed=3),
+        labeled_random(100, num_labels=6, seed=4),
+    ],
+)
+def test_codec_roundtrip(graph):
+    assert _structurally_equal(graph, decode_graph(encode_graph(graph)))
+
+
+def test_codec_roundtrip_edge_labels():
+    g = Graph()
+    g.add_vertex(0, label="person")
+    g.add_vertex(1, label="product")
+    g.add_edge(0, 1, 2.5, label="buy")
+    back = decode_graph(encode_graph(g))
+    assert back.edge_label(0, 1) == "buy"
+    assert back.vertex_label(0) == "person"
+
+
+def test_codec_roundtrip_undirected():
+    g = Graph(directed=False)
+    g.add_edge(0, 1, 3.0)
+    g.add_edge(1, 2, 1.0)
+    back = decode_graph(encode_graph(g))
+    assert not back.directed
+    assert back.has_edge(2, 1)
+    assert back.num_edges == 2
+
+
+def test_codec_exotic_weights_exact():
+    g = Graph()
+    g.add_edge(0, 1, 0.1 + 0.2)  # not a multiple of 1/1000
+    back = decode_graph(encode_graph(g))
+    assert back.edge_weight(0, 1) == 0.1 + 0.2  # bit-exact via double
+
+
+def test_codec_rejects_string_ids():
+    g = Graph()
+    g.add_vertex("name")
+    with pytest.raises(StorageError):
+        encode_graph(g)
+
+
+def test_codec_rejects_props():
+    g = Graph()
+    g.add_vertex(0, name="ann")
+    with pytest.raises(StorageError):
+        encode_graph(g)
+
+
+def test_codec_rejects_garbage():
+    with pytest.raises(StorageError):
+        decode_graph(b"not a graph")
+
+
+def test_compression_beats_json():
+    g = road_network(15, 15, seed=5)
+    assert compression_ratio(g) > 3.0
+
+
+# -------------------------------------------------------------- catalog
+def test_catalog_auto_picks_compressed(tmp_path):
+    dfs = SimulatedDFS(tmp_path)
+    catalog = Catalog(dfs)
+    g = road_network(6, 6, seed=6)
+    catalog.save_graph("road", g)
+    assert dfs.exists("graphs/road/graph.bin")
+    assert not dfs.exists("graphs/road/graph.json")
+    assert _structurally_equal(g, catalog.load_graph("road"))
+
+
+def test_catalog_auto_falls_back_to_json(tmp_path):
+    dfs = SimulatedDFS(tmp_path)
+    catalog = Catalog(dfs)
+    g = Graph()
+    g.add_vertex(0, name="props force json")
+    catalog.save_graph("propsy", g)
+    assert dfs.exists("graphs/propsy/graph.json")
+    assert catalog.load_graph("propsy").vertex_props(0) == {
+        "name": "props force json"
+    }
+
+
+def test_catalog_explicit_compressed_raises_on_props(tmp_path):
+    catalog = Catalog(SimulatedDFS(tmp_path))
+    g = Graph()
+    g.add_vertex(0, name="x")
+    with pytest.raises(StorageError):
+        catalog.save_graph("x", g, format="compressed")
+
+
+def test_catalog_format_switch_replaces_file(tmp_path):
+    dfs = SimulatedDFS(tmp_path)
+    catalog = Catalog(dfs)
+    g = road_network(4, 4, seed=7)
+    catalog.save_graph("g", g, format="json")
+    assert dfs.exists("graphs/g/graph.json")
+    catalog.save_graph("g", g, format="compressed")
+    assert dfs.exists("graphs/g/graph.bin")
+    assert not dfs.exists("graphs/g/graph.json")
+
+
+def test_catalog_unknown_format(tmp_path):
+    catalog = Catalog(SimulatedDFS(tmp_path))
+    with pytest.raises(StorageError):
+        catalog.save_graph("g", Graph(), format="brotli")

@@ -1,0 +1,82 @@
+"""Unit tests for disjoint-set union."""
+
+from repro.utils.dsu import DisjointSet
+
+
+def test_singletons_are_distinct():
+    dsu = DisjointSet(range(4))
+    assert dsu.count_sets() == 4
+    assert not dsu.connected(0, 1)
+
+
+def test_union_merges_and_reports():
+    dsu = DisjointSet()
+    assert dsu.union(1, 2) is True
+    assert dsu.union(1, 2) is False  # already merged
+    assert dsu.connected(1, 2)
+
+
+def test_transitive_connectivity():
+    dsu = DisjointSet()
+    dsu.union(1, 2)
+    dsu.union(2, 3)
+    dsu.union(4, 5)
+    assert dsu.connected(1, 3)
+    assert not dsu.connected(1, 4)
+
+
+def test_find_is_idempotent_and_canonical():
+    dsu = DisjointSet()
+    dsu.union("a", "b")
+    dsu.union("b", "c")
+    root = dsu.find("a")
+    assert dsu.find("b") == root
+    assert dsu.find("c") == root
+
+
+def test_lazy_add_on_find():
+    dsu = DisjointSet()
+    assert dsu.find("fresh") == "fresh"
+    assert "fresh" in dsu
+
+
+def test_set_size_tracks_merges():
+    dsu = DisjointSet()
+    dsu.union(1, 2)
+    dsu.union(3, 4)
+    assert dsu.set_size(1) == 2
+    dsu.union(2, 3)
+    assert dsu.set_size(4) == 4
+
+
+def test_groups_partition_everything():
+    dsu = DisjointSet(range(6))
+    dsu.union(0, 1)
+    dsu.union(2, 3)
+    groups = dsu.groups()
+    members = sorted(m for grp in groups.values() for m in grp)
+    assert members == list(range(6))
+    sizes = sorted(len(grp) for grp in groups.values())
+    assert sizes == [1, 1, 2, 2]
+
+
+def test_count_sets_after_chain():
+    dsu = DisjointSet(range(10))
+    for i in range(9):
+        dsu.union(i, i + 1)
+    assert dsu.count_sets() == 1
+
+
+def test_union_by_size_keeps_larger_root():
+    dsu = DisjointSet()
+    dsu.union(1, 2)
+    dsu.union(1, 3)  # size 3 set rooted somewhere in {1,2,3}
+    big_root = dsu.find(1)
+    dsu.union(9, 1)
+    assert dsu.find(9) == big_root
+
+
+def test_len_and_iter():
+    dsu = DisjointSet("abc")
+    assert len(dsu) == 3
+    assert sorted(dsu) == ["a", "b", "c"]

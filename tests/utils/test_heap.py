@@ -1,0 +1,123 @@
+"""Unit tests for the indexed binary heap."""
+
+import pytest
+
+from repro.utils.heap import IndexedHeap
+
+
+def test_empty_heap_is_falsy():
+    heap = IndexedHeap()
+    assert not heap
+    assert len(heap) == 0
+
+
+def test_pop_empty_raises():
+    with pytest.raises(IndexError):
+        IndexedHeap().pop()
+
+
+def test_peek_empty_raises():
+    with pytest.raises(IndexError):
+        IndexedHeap().peek()
+
+
+def test_push_pop_single():
+    heap = IndexedHeap()
+    heap.push("a", 3.0)
+    assert heap.peek() == ("a", 3.0)
+    assert heap.pop() == ("a", 3.0)
+    assert not heap
+
+
+def test_pops_in_priority_order():
+    heap = IndexedHeap()
+    for key, prio in [("c", 3), ("a", 1), ("d", 4), ("b", 2)]:
+        heap.push(key, prio)
+    assert [heap.pop()[0] for _ in range(4)] == ["a", "b", "c", "d"]
+
+
+def test_decrease_key_moves_item_up():
+    heap = IndexedHeap()
+    heap.push("x", 10)
+    heap.push("y", 5)
+    heap.push("x", 1)  # decrease
+    assert heap.pop() == ("x", 1)
+
+
+def test_increase_key_moves_item_down():
+    heap = IndexedHeap()
+    heap.push("x", 1)
+    heap.push("y", 5)
+    heap.push("x", 10)  # increase
+    assert heap.pop() == ("y", 5)
+    assert heap.pop() == ("x", 10)
+
+
+def test_push_if_lower_only_improves():
+    heap = IndexedHeap()
+    heap.push("x", 5)
+    assert heap.push_if_lower("x", 7) is False
+    assert heap.priority("x") == 5
+    assert heap.push_if_lower("x", 2) is True
+    assert heap.priority("x") == 2
+
+
+def test_push_if_lower_inserts_new():
+    heap = IndexedHeap()
+    assert heap.push_if_lower("new", 1.5) is True
+    assert "new" in heap
+
+
+def test_contains_and_priority():
+    heap = IndexedHeap()
+    heap.push(42, 3.25)
+    assert 42 in heap
+    assert 41 not in heap
+    assert heap.priority(42) == 3.25
+    with pytest.raises(KeyError):
+        heap.priority(41)
+
+
+def test_discard_present_and_absent():
+    heap = IndexedHeap()
+    heap.push("a", 1)
+    heap.push("b", 2)
+    assert heap.discard("a") is True
+    assert heap.discard("a") is False
+    assert heap.pop() == ("b", 2)
+
+
+def test_discard_middle_preserves_order():
+    heap = IndexedHeap()
+    for i in range(10):
+        heap.push(i, i)
+    heap.discard(4)
+    out = [heap.pop()[0] for _ in range(9)]
+    assert out == [0, 1, 2, 3, 5, 6, 7, 8, 9]
+
+
+def test_equal_priorities_all_pop():
+    heap = IndexedHeap()
+    for i in range(5):
+        heap.push(i, 1.0)
+    keys = {heap.pop()[0] for _ in range(5)}
+    assert keys == set(range(5))
+
+
+def test_interleaved_operations_stay_consistent():
+    heap = IndexedHeap()
+    heap.push("a", 5)
+    heap.push("b", 3)
+    assert heap.pop() == ("b", 3)
+    heap.push("c", 4)
+    heap.push("a", 1)  # decrease
+    assert heap.pop() == ("a", 1)
+    assert heap.pop() == ("c", 4)
+    assert len(heap) == 0
+
+
+def test_iter_yields_all_keys():
+    heap = IndexedHeap()
+    for i in range(6):
+        heap.push(i, -i)
+    assert sorted(heap) == list(range(6))

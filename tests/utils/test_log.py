@@ -1,0 +1,32 @@
+"""Unit tests for the library logging helpers."""
+
+import logging
+
+from repro.utils.log import enable_logging, get_logger
+
+
+def test_get_logger_namespaces_under_repro():
+    assert get_logger("partition").name == "repro.partition"
+    assert get_logger("repro.core").name == "repro.core"
+
+
+def test_enable_logging_attaches_one_handler():
+    root = logging.getLogger("repro")
+    before = list(root.handlers)
+    try:
+        enable_logging(logging.DEBUG)
+        enable_logging(logging.DEBUG)  # idempotent
+        added = [h for h in root.handlers if h not in before]
+        assert len(root.handlers) - len(before) <= 1
+        assert root.level == logging.DEBUG
+    finally:
+        for handler in list(root.handlers):
+            if handler not in before:
+                root.removeHandler(handler)
+
+
+def test_logging_emits_through_namespace(caplog):
+    logger = get_logger("test-module")
+    with caplog.at_level(logging.WARNING, logger="repro"):
+        logger.warning("border variables diverged")
+    assert "border variables diverged" in caplog.text

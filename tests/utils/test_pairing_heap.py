@@ -1,0 +1,134 @@
+"""Unit + property tests for the pairing heap (vs the indexed heap)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.heap import IndexedHeap
+from repro.utils.pairing_heap import PairingHeap
+
+
+def test_empty():
+    heap = PairingHeap()
+    assert not heap
+    assert len(heap) == 0
+    with pytest.raises(IndexError):
+        heap.pop()
+    with pytest.raises(IndexError):
+        heap.peek()
+
+
+def test_push_pop_order():
+    heap = PairingHeap()
+    for key, prio in [("c", 3), ("a", 1), ("d", 4), ("b", 2)]:
+        heap.push(key, prio)
+    assert heap.peek() == ("a", 1)
+    assert [heap.pop()[0] for _ in range(4)] == ["a", "b", "c", "d"]
+
+
+def test_decrease_key():
+    heap = PairingHeap()
+    heap.push("x", 10)
+    heap.push("y", 5)
+    heap.push("x", 1)
+    assert heap.pop() == ("x", 1)
+    assert heap.pop() == ("y", 5)
+
+
+def test_increase_key():
+    heap = PairingHeap()
+    heap.push("x", 1)
+    heap.push("y", 5)
+    heap.push("x", 10)
+    assert heap.pop() == ("y", 5)
+    assert heap.pop() == ("x", 10)
+
+
+def test_push_if_lower():
+    heap = PairingHeap()
+    heap.push("x", 5)
+    assert heap.push_if_lower("x", 7) is False
+    assert heap.push_if_lower("x", 3) is True
+    assert heap.priority("x") == 3
+    assert heap.push_if_lower("new", 1) is True
+
+
+def test_discard():
+    heap = PairingHeap()
+    for i in range(8):
+        heap.push(i, i)
+    assert heap.discard(0) is True   # root
+    assert heap.discard(4) is True   # interior
+    assert heap.discard(99) is False
+    assert [heap.pop()[0] for _ in range(6)] == [1, 2, 3, 5, 6, 7]
+
+
+def test_contains_iter_priority():
+    heap = PairingHeap()
+    heap.push("a", 2.5)
+    assert "a" in heap and "b" not in heap
+    assert list(heap) == ["a"]
+    assert heap.priority("a") == 2.5
+
+
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), st.integers(0, 25),
+                  st.floats(-100, 100)),
+        st.tuples(st.just("pop"), st.just(0), st.just(0.0)),
+        st.tuples(st.just("discard"), st.integers(0, 25), st.just(0.0)),
+        st.tuples(st.just("push_if_lower"), st.integers(0, 25),
+                  st.floats(-100, 100)),
+    ),
+    max_size=120,
+)
+
+
+@given(ops_strategy)
+def test_equivalent_to_indexed_heap(ops):
+    """Arbitrary op sequences give identical observable behavior.
+
+    Priorities are made unique by tupling with the op index (tuples
+    compare lexicographically), because under priority ties the two
+    implementations may legally pop different keys and then drift.
+    """
+    pairing = PairingHeap()
+    indexed = IndexedHeap()
+    for idx, (op, key, prio) in enumerate(ops):
+        prio = (prio, idx)  # unique, totally ordered
+        if op == "push":
+            pairing.push(key, prio)
+            indexed.push(key, prio)
+        elif op == "push_if_lower":
+            assert pairing.push_if_lower(key, prio) == indexed.push_if_lower(
+                key, prio
+            )
+        elif op == "discard":
+            assert pairing.discard(key) == indexed.discard(key)
+        else:  # pop
+            if indexed:
+                assert pairing.pop() == indexed.pop()
+            else:
+                with pytest.raises(IndexError):
+                    pairing.pop()
+        assert len(pairing) == len(indexed)
+        assert set(pairing) == set(indexed)
+    remaining_p = [pairing.pop() for _ in range(len(pairing))]
+    remaining_i = [indexed.pop() for _ in range(len(indexed))]
+    assert remaining_p == remaining_i
+
+
+@given(st.lists(st.tuples(st.integers(0, 40), st.floats(0, 1000)),
+                min_size=1))
+def test_dijkstra_style_workload(ops):
+    """decrease-only usage (what Dijkstra does) stays consistent."""
+    heap = PairingHeap()
+    best = {}
+    for key, prio in ops:
+        if heap.push_if_lower(key, prio):
+            best[key] = min(best.get(key, float("inf")), prio)
+    out = {}
+    while heap:
+        key, prio = heap.pop()
+        out[key] = prio
+    assert out == best
