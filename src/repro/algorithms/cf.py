@@ -31,6 +31,7 @@ from repro.core.partial_order import UNORDERED
 from repro.core.pie import ParamSpec, PIEProgram
 from repro.core.update_params import UpdateParams
 from repro.graph.fragment import Fragment
+from repro.utils.rng import stable_hash
 
 VertexId = Hashable
 
@@ -120,7 +121,10 @@ class CFProgram(PIEProgram[CFQuery, CFPartial, CFResult]):
         partial: CFPartial,
         params: UpdateParams,
     ) -> None:
-        for item in params.declared:
+        # Publish in a stable order: params.set replaces the replica
+        # wholesale (FACTOR_BLEND is order-sensitive), and raw set
+        # iteration varies across processes (grape-lint GRP306).
+        for item in sorted(params.declared, key=stable_hash):
             vec = partial.model.item_factors.get(item)
             if vec is not None:
                 params.set(item, tuple(vec))

@@ -125,7 +125,9 @@ class SimProgram(PIEProgram[SimQuery, Partial, dict]):
             dirty=changed,
         )
         self.work_log.append(("inceval", fragment.fid, steps))
-        for v in fragment.inner_border:
+        # Candidate sets shrink anywhere in the refined region, so the
+        # whole inner border is re-offered; improve() drops no-op writes.
+        for v in fragment.inner_border:  # grape-lint: disable=GRP202
             params.improve(v, partial.get(v, frozenset()))
         return partial
 

@@ -1,0 +1,100 @@
+"""Rendering of grape-lint findings for terminals and tooling."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import CATALOG, Finding
+
+__all__ = ["format_findings", "summary_line", "findings_to_json", "rule_table"]
+
+
+def format_findings(
+    findings: Sequence[Finding],
+    *,
+    show_suppressed: bool = False,
+    show_hints: bool = True,
+) -> str:
+    """Human-readable report, grouped by file, with optional hints."""
+    lines: list[str] = []
+    last_path = None
+    for finding in findings:
+        if finding.suppressed and not show_suppressed:
+            continue
+        if finding.path != last_path:
+            if last_path is not None:
+                lines.append("")
+            lines.append(f"{finding.path}:")
+            last_path = finding.path
+        lines.append(f"  {_one_line(finding)}")
+        if show_hints and finding.hint and not finding.suppressed:
+            lines.append(f"      hint: {finding.hint}")
+    return "\n".join(lines)
+
+
+def _one_line(finding: Finding) -> str:
+    where = (
+        f"{finding.program}.{finding.method}"
+        if finding.method
+        else finding.program
+    )
+    tag = " (suppressed)" if finding.suppressed else ""
+    return (
+        f"{finding.line}:{finding.col}: {finding.code} "
+        f"{finding.severity}: {finding.message} [{where}]{tag}"
+    )
+
+
+def summary_line(findings: Sequence[Finding]) -> str:
+    """One-line totals: active findings by severity, plus suppressed."""
+    active = [f for f in findings if not f.suppressed]
+    suppressed = len(findings) - len(active)
+    if not active and not suppressed:
+        return "grape-lint: clean"
+    by_severity = Counter(f.severity for f in active)
+    parts = [
+        f"{by_severity[sev]} {sev}{'s' if by_severity[sev] != 1 else ''}"
+        for sev in ("error", "warning", "info")
+        if by_severity[sev]
+    ]
+    if suppressed:
+        parts.append(f"{suppressed} suppressed")
+    return "grape-lint: " + (", ".join(parts) if parts else "clean")
+
+
+def findings_to_json(findings: Iterable[Finding]) -> str:
+    """Machine-readable dump (one object per finding)."""
+    return json.dumps(
+        [
+            {
+                "code": f.code,
+                "severity": f.severity,
+                "message": f.message,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "program": f.program,
+                "method": f.method,
+                "suppressed": f.suppressed,
+                "hint": f.hint,
+            }
+            for f in findings
+        ],
+        indent=2,
+    )
+
+
+def rule_table() -> str:
+    """The rule catalog as an aligned text table (``grape lint --rules``)."""
+    rows = [
+        (info.code, info.severity, info.family, info.title)
+        for info in sorted(CATALOG.values(), key=lambda r: r.code)
+    ]
+    widths = [max(len(row[i]) for row in rows) for i in range(3)]
+    return "\n".join(
+        f"{code:<{widths[0]}}  {sev:<{widths[1]}}  "
+        f"{family:<{widths[2]}}  {title}"
+        for code, sev, family, title in rows
+    )

@@ -1,0 +1,30 @@
+"""Rule families for grape-lint, one module per family.
+
+Each family module exposes ``check(program, module) -> Iterator[Finding]``;
+:func:`run_rules` applies every family to every PIE program of a parsed
+module and marks pragma-suppressed findings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.inspector import ModuleInfo
+from repro.analysis.rules import aggregator, boundedness, contract, isolation
+
+#: The rule families, in report order.
+FAMILIES = (aggregator, boundedness, isolation, contract)
+
+__all__ = ["FAMILIES", "run_rules"]
+
+
+def run_rules(module: ModuleInfo) -> Iterator[Finding]:
+    """All findings for ``module``, suppression pragmas applied."""
+    for program in module.programs:
+        for family in FAMILIES:
+            for finding in family.check(program, module):
+                finding.suppressed = module.suppressed(
+                    finding.line, finding.code
+                )
+                yield finding

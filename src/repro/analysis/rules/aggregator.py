@@ -1,0 +1,111 @@
+"""GRP1xx — aggregator consistency.
+
+The Assurance Theorem requires every update-parameter write to advance
+along the declared aggregate function's partial order. These rules catch
+the static shadows of non-monotonic programs: combining expressions that
+move the wrong way (``max`` under ``MIN``), and raw ``params.set`` writes
+that bypass the aggregate function entirely.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, make_finding
+from repro.analysis.inspector import ModuleInfo, ProgramInfo, dotted_name
+from repro.analysis.rules.common import (
+    iter_methods,
+    param_subscript_writes,
+    param_write_calls,
+)
+
+#: Extremum call that contradicts each direction of the partial order.
+_CONTRA_EXTREMUM = {"decreasing": "max", "increasing": "min"}
+#: Arithmetic drift off the current value that contradicts each direction.
+_CONTRA_ARITH = {"decreasing": ast.Add, "increasing": ast.Sub}
+#: Set-algebra operator that contradicts each set-order direction.
+_CONTRA_SETOP = {"growing": ast.BitAnd, "shrinking": ast.BitOr}
+
+
+def _reads_current(node: ast.AST, params_name: str) -> bool:
+    """Whether ``node`` reads the parameter store (``params.get``/``[...]``)."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            if dotted_name(sub.func) == f"{params_name}.get":
+                return True
+        if isinstance(sub, ast.Subscript):
+            if isinstance(sub.value, ast.Name) and sub.value.id == params_name:
+                return True
+    return False
+
+
+def _contradiction(
+    value: ast.AST, direction: str, params_name: str
+) -> ast.AST | None:
+    """First sub-expression of ``value`` that moves against ``direction``."""
+    extremum = _CONTRA_EXTREMUM.get(direction)
+    arith = _CONTRA_ARITH.get(direction)
+    setop = _CONTRA_SETOP.get(direction)
+    for sub in ast.walk(value):
+        if (
+            extremum is not None
+            and isinstance(sub, ast.Call)
+            and dotted_name(sub.func) == extremum
+        ):
+            return sub
+        if (
+            arith is not None
+            and isinstance(sub, ast.BinOp)
+            and isinstance(sub.op, arith)
+            and _reads_current(sub, params_name)
+        ):
+            return sub
+        if (
+            setop is not None
+            and isinstance(sub, ast.BinOp)
+            and isinstance(sub.op, setop)
+        ):
+            return sub
+    return None
+
+
+def check(program: ProgramInfo, module: ModuleInfo) -> Iterator[Finding]:
+    agg = program.aggregator
+    if agg is None or agg.direction == "unknown":
+        return
+    for method in iter_methods(program):
+        params_name = method.arg("params")
+        if params_name is None:
+            continue
+        writes: list[tuple[ast.AST, ast.AST | None, str]] = []
+        for call, kind in param_write_calls(method.node, params_name):
+            value = call.args[1] if len(call.args) > 1 else None
+            writes.append((call, value, kind))
+        for stmt, value, in param_subscript_writes(method.node, params_name):
+            writes.append((stmt, value, "set"))
+        for node, value, kind in writes:
+            if value is not None:
+                contra = _contradiction(value, agg.direction, params_name)
+                if contra is not None:
+                    yield make_finding(
+                        "GRP101",
+                        f"write combines against the {agg.name} aggregator's "
+                        f"{agg.direction} order "
+                        f"({ast.unparse(contra) if hasattr(ast, 'unparse') else '...'})",
+                        path=program.path,
+                        node=node,
+                        program=program.name,
+                        method=method.name,
+                    )
+                    continue
+            if kind == "set" and agg.direction != "unordered":
+                yield make_finding(
+                    "GRP102",
+                    f"params.set() bypasses the {agg.name} aggregate "
+                    "function; monotonicity is unchecked",
+                    path=program.path,
+                    node=node,
+                    program=program.name,
+                    method=method.name,
+                )

@@ -1,0 +1,137 @@
+"""GRP2xx — bounded IncEval.
+
+The paper's complexity claim (and experiment E5) rests on IncEval doing
+work proportional to the change set ``M_i`` plus the affected area — not
+to the fragment. These rules flag the static signatures of unbounded
+incremental steps: full-fragment scans, border-wide re-publication, and
+IncEval bodies that never consult ``changed`` at all.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, make_finding
+from repro.analysis.inspector import ModuleInfo, ProgramInfo, dotted_name
+from repro.analysis.rules.common import (
+    param_write_calls,
+    references_name,
+)
+
+#: ``fragment.<attr>`` reads that enumerate the whole fragment.
+_FULL_ATTRS = {"owned"}
+#: ``fragment.graph.<method>()`` calls that enumerate the whole fragment.
+_FULL_GRAPH_CALLS = {"vertices", "edges"}
+#: ``fragment.<attr>`` reads that enumerate the whole border.
+_BORDER_ATTRS = {"border", "inner_border", "mirrors"}
+
+
+def _classify_iter(node: ast.AST, fragment: str | None) -> str | None:
+    """'full', 'border', or None for one iterated expression."""
+    if fragment is None:
+        return None
+    name = dotted_name(node)
+    if name is not None:
+        parts = name.split(".")
+        if parts[0] == fragment and len(parts) == 2:
+            if parts[1] in _FULL_ATTRS:
+                return "full"
+            if parts[1] in _BORDER_ATTRS:
+                return "border"
+        if name == f"{fragment}.graph":
+            return "full"
+    if isinstance(node, ast.Call):
+        callee = dotted_name(node.func)
+        if callee is not None:
+            parts = callee.split(".")
+            if (
+                len(parts) == 3
+                and parts[0] == fragment
+                and parts[1] == "graph"
+                and parts[2] in _FULL_GRAPH_CALLS
+            ):
+                return "full"
+            # fragment.mirrors.items() / .keys() etc.
+            if (
+                len(parts) == 3
+                and parts[0] == fragment
+                and parts[1] in _BORDER_ATTRS
+            ):
+                return "border"
+    return None
+
+
+def _iterated_exprs(node: ast.AST) -> Iterator[tuple[ast.AST, ast.AST]]:
+    """``(iterated expression, owning loop/comprehension)`` pairs."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.For):
+            yield sub.iter, sub
+        elif isinstance(sub, (ast.ListComp, ast.SetComp, ast.DictComp,
+                              ast.GeneratorExp)):
+            for gen in sub.generators:
+                yield gen.iter, sub
+
+
+def _has_work(fn: ast.FunctionDef) -> bool:
+    """Whether the body does anything beyond returning (loops or calls)."""
+    for sub in ast.walk(fn):
+        if isinstance(sub, (ast.For, ast.While, ast.ListComp, ast.SetComp,
+                            ast.DictComp, ast.GeneratorExp, ast.Call)):
+            return True
+    return False
+
+
+def check(program: ProgramInfo, module: ModuleInfo) -> Iterator[Finding]:
+    method = program.method("inceval")
+    if method is None:
+        return
+    fragment = method.arg("fragment")
+    changed = method.arg("changed")
+    params = method.arg("params")
+
+    for expr, owner in _iterated_exprs(method.node):
+        kind = _classify_iter(expr, fragment)
+        if kind == "full":
+            yield make_finding(
+                "GRP201",
+                "IncEval iterates the whole fragment "
+                f"({ast.unparse(expr) if hasattr(ast, 'unparse') else '...'}); "
+                "bounded IncEval derives its worklist from `changed`",
+                path=program.path,
+                node=expr,
+                program=program.name,
+                method=method.name,
+            )
+        elif (
+            kind == "border"
+            and isinstance(owner, ast.For)
+            and params is not None
+            and any(param_write_calls(owner, params, kinds={"improve", "set",
+                                                            "touch"}))
+        ):
+            yield make_finding(
+                "GRP202",
+                "IncEval republishes parameters for the whole border "
+                f"({ast.unparse(expr) if hasattr(ast, 'unparse') else '...'}) "
+                "instead of only the vertices its update touched",
+                path=program.path,
+                node=expr,
+                program=program.name,
+                method=method.name,
+            )
+
+    if (
+        changed is not None
+        and not references_name(method.node, changed)
+        and _has_work(method.node)
+    ):
+        yield make_finding(
+            "GRP203",
+            f"IncEval never reads `{changed}`; it cannot be incremental "
+            "with respect to the update set M_i",
+            path=program.path,
+            node=method.node,
+            program=program.name,
+            method=method.name,
+        )

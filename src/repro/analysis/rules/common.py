@@ -1,0 +1,167 @@
+"""Shared AST predicates used by the grape-lint rule families."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.inspector import MethodInfo, ProgramInfo, dotted_name
+
+__all__ = [
+    "MUTATORS",
+    "iter_methods",
+    "param_write_calls",
+    "param_subscript_writes",
+    "references_name",
+    "root_name",
+    "is_set_expr",
+    "local_assignments",
+]
+
+#: Method names that mutate their receiver in the stdlib containers.
+MUTATORS = {
+    "append",
+    "add",
+    "update",
+    "extend",
+    "remove",
+    "pop",
+    "popitem",
+    "clear",
+    "discard",
+    "insert",
+    "setdefault",
+    "sort",
+    "reverse",
+}
+
+
+def iter_methods(
+    program: ProgramInfo, roles: set[str] | None = None
+) -> Iterator[MethodInfo]:
+    """Methods of ``program``, optionally restricted to ``roles``."""
+    for method in program.methods.values():
+        if roles is None or method.role in roles:
+            yield method
+
+
+def param_write_calls(
+    node: ast.AST, params_name: str, kinds: set[str] | None = None
+) -> Iterator[tuple[ast.Call, str]]:
+    """``(call, kind)`` for every ``params.<kind>(...)`` call under node.
+
+    ``kinds`` defaults to the value-writing methods ``improve`` and
+    ``set``.
+    """
+    wanted = kinds if kinds is not None else {"improve", "set"}
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        target = dotted_name(sub.func)
+        if target is None:
+            continue
+        parts = target.split(".")
+        if len(parts) == 2 and parts[0] == params_name and parts[1] in wanted:
+            yield sub, parts[1]
+
+
+def param_subscript_writes(
+    node: ast.AST, params_name: str
+) -> Iterator[tuple[ast.AST, ast.AST | None]]:
+    """``params[v] = expr`` assignments under ``node`` -> (stmt, expr)."""
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.Assign, ast.AugAssign)):
+            targets = sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == params_name
+                ):
+                    yield sub, getattr(sub, "value", None)
+
+
+def references_name(node: ast.AST, name: str) -> bool:
+    """Whether any ``ast.Name`` under ``node`` is ``name``."""
+    return any(
+        isinstance(sub, ast.Name) and sub.id == name
+        for sub in ast.walk(node)
+    )
+
+
+def root_name(node: ast.AST) -> str | None:
+    """Leftmost name of an attribute/subscript chain (``a`` in ``a.b[c].d``)."""
+    while isinstance(node, (ast.Attribute, ast.Subscript, ast.Call)):
+        node = node.func if isinstance(node, ast.Call) else node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def local_assignments(fn: ast.FunctionDef) -> dict[str, ast.AST]:
+    """Simple ``name = expr`` bindings in ``fn`` (last write wins)."""
+    out: dict[str, ast.AST] = {}
+    for sub in ast.walk(fn):
+        if isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+            target = sub.targets[0]
+            if isinstance(target, ast.Name):
+                out[target.id] = sub.value
+    return out
+
+
+#: Attributes that are set-valued in the fragment / params APIs.
+_SET_ATTRS = {"border", "inner_border", "owned", "declared"}
+_SET_OPS = (ast.BitAnd, ast.BitOr, ast.Sub, ast.BitXor)
+
+
+def is_set_expr(
+    node: ast.AST,
+    *,
+    fragment: str | None = None,
+    params: str | None = None,
+    locals_map: dict[str, ast.AST] | None = None,
+    _depth: int = 0,
+) -> bool:
+    """Heuristic: does ``node`` evaluate to an (unordered) set?
+
+    Recognises set literals/comprehensions, ``set()``/``frozenset()``
+    calls, binary set algebra, the set-valued attributes of the fragment
+    and params objects, and (one level of) local names bound to any of
+    those. ``sorted(...)`` and list/tuple wrappers are *not* sets — that
+    is exactly the remediation.
+    """
+    if _depth > 4:
+        return False
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        callee = dotted_name(node.func)
+        if callee in ("set", "frozenset"):
+            return True
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+        return any(
+            is_set_expr(
+                side,
+                fragment=fragment,
+                params=params,
+                locals_map=locals_map,
+                _depth=_depth + 1,
+            )
+            for side in (node.left, node.right)
+        )
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        if node.attr in _SET_ATTRS and base in (fragment, params):
+            return True
+        return False
+    if isinstance(node, ast.Name) and locals_map and node.id in locals_map:
+        bound = locals_map[node.id]
+        return is_set_expr(
+            bound,
+            fragment=fragment,
+            params=params,
+            locals_map=None,  # one level only; avoids cycles
+            _depth=_depth + 1,
+        )
+    return False

@@ -1,0 +1,157 @@
+"""GRP4xx — PIE declaration contract checks.
+
+The two declarations the paper adds to sequential code — the aggregate
+function with its default, and the set of vertices carrying update
+parameters — have their own invariants: the default must be the identity
+(top) of the aggregator's order, parameters belong on border vertices,
+and Assemble must be a pure combine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, make_finding
+from repro.analysis.inspector import ModuleInfo, ProgramInfo, dotted_name
+from repro.analysis.rules.common import MUTATORS, root_name
+
+_INF = float("inf")
+_MISSING = object()
+
+#: fragment attributes that witness a border-derived declaration.
+_BORDER_ATTRS = {"border", "inner_border", "mirrors"}
+
+
+def _const_value(node: ast.AST | None) -> object:
+    """Statically evaluate simple default expressions; _MISSING if opaque."""
+    if node is None:
+        return _MISSING
+    if isinstance(node, ast.Constant):
+        return node.value
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _const_value(node.operand)
+        if isinstance(inner, (int, float)) and not isinstance(inner, bool):
+            return -inner
+    if isinstance(node, ast.Call):
+        callee = dotted_name(node.func)
+        if callee == "float" and len(node.args) == 1:
+            arg = _const_value(node.args[0])
+            if isinstance(arg, str):
+                try:
+                    return float(arg)
+                except ValueError:
+                    return _MISSING
+        if callee in ("set", "frozenset") and not node.args:
+            return frozenset()
+    if isinstance(node, ast.Name) and node.id == "INF":
+        # Repo-wide convention: INF = float("inf").
+        return _INF
+    return _MISSING
+
+
+def _degenerate(direction: str, value: object) -> str | None:
+    """Reason the default can never be improved, or None if it can."""
+    if value is _MISSING or value is None:
+        return None
+    if direction == "decreasing":
+        if value is False:
+            return "False is the bottom of the decreasing boolean order"
+        if isinstance(value, (int, float)) and value == -_INF:
+            return "-inf is the bottom of the decreasing order"
+    elif direction == "increasing":
+        if value is True:
+            return "True is the top of the increasing boolean order"
+        if isinstance(value, (int, float)) and not isinstance(value, bool) \
+                and value == _INF:
+            return "+inf is the top of the increasing order"
+    elif direction == "shrinking":
+        if isinstance(value, frozenset) and not value:
+            return "the empty set is the bottom of the shrinking-set order"
+    return None
+
+
+def check(program: ProgramInfo, module: ModuleInfo) -> Iterator[Finding]:
+    # --- GRP401: default vs aggregator identity ---------------------------
+    agg = program.aggregator
+    if agg is not None and agg.direction not in ("unknown", "unordered"):
+        reason = _degenerate(agg.direction, _const_value(agg.default))
+        if reason is not None:
+            yield make_finding(
+                "GRP401",
+                f"default for the {agg.name} aggregator can never be "
+                f"improved: {reason}",
+                path=program.path,
+                node=agg.default if agg.default is not None else agg.node,
+                program=program.name,
+                method="param_spec",
+            )
+
+    # --- GRP402: declarations not derived from the border -----------------
+    declare = program.method("declare_params")
+    if declare is not None:
+        params = declare.arg("params")
+        fragment = declare.arg("fragment")
+        declare_calls = [
+            sub
+            for sub in ast.walk(declare.node)
+            if isinstance(sub, ast.Call)
+            and dotted_name(sub.func) == f"{params}.declare"
+        ]
+        touches_border = any(
+            isinstance(sub, ast.Attribute)
+            and sub.attr in _BORDER_ATTRS
+            and dotted_name(sub.value) == fragment
+            for sub in ast.walk(declare.node)
+        )
+        if declare_calls and not touches_border:
+            yield make_finding(
+                "GRP402",
+                "declare_params never derives its vertex set from "
+                f"`{fragment}.border` / inner_border / mirrors",
+                path=program.path,
+                node=declare_calls[0],
+                program=program.name,
+                method=declare.name,
+            )
+
+    # --- GRP403: impure Assemble ------------------------------------------
+    assemble = program.method("assemble")
+    if assemble is not None:
+        for sub in ast.walk(assemble.node):
+            if isinstance(sub, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    sub.targets
+                    if isinstance(sub, ast.Assign)
+                    else [sub.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, (ast.Attribute, ast.Subscript))
+                        and root_name(target) == "self"
+                    ):
+                        yield make_finding(
+                            "GRP403",
+                            "Assemble writes program state "
+                            f"({ast.unparse(target) if hasattr(ast, 'unparse') else 'self...'})",
+                            path=program.path,
+                            node=sub,
+                            program=program.name,
+                            method=assemble.name,
+                        )
+            elif isinstance(sub, ast.Call):
+                if (
+                    isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in MUTATORS
+                    and root_name(sub.func.value) == "self"
+                    and isinstance(sub.func.value, ast.Attribute)
+                ):
+                    yield make_finding(
+                        "GRP403",
+                        f"Assemble mutates program state "
+                        f"(self....{sub.func.attr}())",
+                        path=program.path,
+                        node=sub,
+                        program=program.name,
+                        method=assemble.name,
+                    )

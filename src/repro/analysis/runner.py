@@ -1,0 +1,120 @@
+"""Entry points of the grape-lint analyzer.
+
+``analyze_source`` / ``analyze_path`` lint source text and files without
+importing them; ``analyze_program`` lints a live class or instance (used
+by the registry's ``validate=True`` hook); ``require_clean`` turns
+error-severity findings into :class:`~repro.errors.AnalysisError`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding, severity_rank
+from repro.analysis.inspector import inspect_object, inspect_source
+from repro.analysis.reporting import format_findings
+from repro.analysis.rules import run_rules
+from repro.errors import AnalysisError
+
+__all__ = [
+    "analyze_source",
+    "analyze_path",
+    "analyze_paths",
+    "analyze_program",
+    "active",
+    "require_clean",
+]
+
+
+def _sort_key(finding: Finding):
+    return (finding.path, finding.line, finding.col, finding.code)
+
+
+def analyze_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Lint one module's source text."""
+    return sorted(run_rules(inspect_source(source, path)), key=_sort_key)
+
+
+def _python_files(path: str) -> Iterable[str]:
+    if os.path.isfile(path):
+        yield path
+        return
+    for dirpath, dirnames, filenames in os.walk(path):
+        dirnames[:] = sorted(
+            d for d in dirnames if not d.startswith((".", "__pycache__"))
+        )
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                yield os.path.join(dirpath, name)
+
+
+def analyze_path(path: str) -> list[Finding]:
+    """Lint a ``.py`` file, or every ``.py`` file under a directory."""
+    if not os.path.exists(path):
+        raise AnalysisError(f"no such file or directory: {path!r}")
+    findings: list[Finding] = []
+    for filename in _python_files(path):
+        with open(filename, "r", encoding="utf-8") as handle:
+            findings.extend(
+                run_rules(inspect_source(handle.read(), filename))
+            )
+    return sorted(findings, key=_sort_key)
+
+
+def analyze_paths(paths: Sequence[str]) -> list[Finding]:
+    """Lint several files/directories into one sorted report."""
+    findings: list[Finding] = []
+    for path in paths:
+        findings.extend(analyze_path(path))
+    return sorted(findings, key=_sort_key)
+
+
+def analyze_program(program: object) -> list[Finding]:
+    """Lint a live PIE program class (or instance) via its source module.
+
+    The defining module is parsed in full (pragmas and module-level
+    context matter), then findings are filtered to the program's class.
+    """
+    import inspect as _inspect
+
+    cls = program if _inspect.isclass(program) else type(program)
+    module = inspect_object(cls)
+    names = {cls.__name__}
+    # Include same-module ancestors: an inherited peval is this program's
+    # peval for verification purposes.
+    for base in cls.__mro__[1:]:
+        if getattr(base, "__module__", None) == cls.__module__:
+            names.add(base.__name__)
+    return sorted(
+        (f for f in run_rules(module) if f.program in names),
+        key=_sort_key,
+    )
+
+
+def active(
+    findings: Iterable[Finding], min_severity: str = "info"
+) -> list[Finding]:
+    """Unsuppressed findings at or above ``min_severity``."""
+    threshold = severity_rank(min_severity)
+    return [
+        f
+        for f in findings
+        if not f.suppressed and severity_rank(f.severity) >= threshold
+    ]
+
+
+def require_clean(
+    findings: Sequence[Finding],
+    *,
+    fail_on: str = "error",
+    subject: str = "program",
+) -> None:
+    """Raise :class:`AnalysisError` if findings reach ``fail_on`` severity."""
+    blocking = active(findings, min_severity=fail_on)
+    if blocking:
+        raise AnalysisError(
+            f"grape-lint rejected {subject}: {len(blocking)} finding"
+            f"{'s' if len(blocking) != 1 else ''}\n"
+            + format_findings(blocking)
+        )

@@ -12,7 +12,7 @@ guaranteed) the moment they misbehave.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable
+from typing import ClassVar, Hashable
 
 from repro.core.partial_order import PartialOrder
 from repro.errors import MonotonicityError
@@ -28,11 +28,22 @@ class Violation:
     vertex: VertexId
     old: object
     new: object
+    #: Name of the partial order the write violated (e.g. ``decreasing``).
+    order: str = ""
+
+    #: Rule code shared with the static verifier (:mod:`repro.analysis`):
+    #: GRP100 is the runtime face of the GRP1xx aggregator-consistency
+    #: family, so runtime and ``grape lint`` findings read as one system.
+    code: ClassVar[str] = "GRP100"
 
     def __str__(self) -> str:
+        order = f" declared {self.order!r}" if self.order else ""
         return (
-            f"fragment {self.fragment}: x[{self.vertex!r}] moved "
-            f"{self.old!r} -> {self.new!r} against the order"
+            f"[{self.code}] fragment {self.fragment}: x[{self.vertex!r}] "
+            f"moved {self.old!r} -> {self.new!r} against the{order} partial "
+            "order; hint: write border variables through params.improve() "
+            "so every value advances along the aggregator's order — "
+            f"`grape lint` checks this statically (rules {self.code[:4]}xx)"
         )
 
 
@@ -54,7 +65,9 @@ class MonotonicityChecker:
         def on_write(vertex: VertexId, old: object, new: object) -> None:
             self.writes_seen += 1
             if not self.order.advances(old, new):
-                violation = Violation(fragment_id, vertex, old, new)
+                violation = Violation(
+                    fragment_id, vertex, old, new, self.order.name
+                )
                 self.violations.append(violation)
                 if self.strict:
                     raise MonotonicityError(str(violation))

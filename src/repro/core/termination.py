@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import RuntimeErrorGrape
+from repro.errors import EngineRuntimeError
 
 
 @dataclass
@@ -28,7 +28,7 @@ class FixpointGuard:
         self.rounds += 1
         self.change_history.append(changed_params)
         if self.rounds > self.max_supersteps:
-            raise RuntimeErrorGrape(
+            raise EngineRuntimeError(
                 f"no fixed point after {self.max_supersteps} supersteps; "
                 "is the plugged-in program monotonic?"
             )

@@ -33,6 +33,10 @@ class Session:
         cost_model: simulated cluster parameters.
         check_monotonic: verify the Assurance Theorem's order condition
             on every parameter write.
+        validate: statically verify programs with grape-lint before
+            running them; error-severity findings raise
+            :class:`~repro.errors.AnalysisError` (the static counterpart
+            of ``check_monotonic``).
     """
 
     def __init__(
@@ -43,12 +47,14 @@ class Session:
         cost_model: CostModel | None = None,
         check_monotonic: bool = False,
         routing: str = "coordinator",
+        validate: bool = False,
     ) -> None:
         self.graph = graph
         self.num_workers = num_workers
         self.cost_model = cost_model or CostModel()
         self.check_monotonic = check_monotonic
         self.routing = routing
+        self.validate = validate
         self._partitioner = (
             partition
             if isinstance(partition, Partitioner)
@@ -147,6 +153,13 @@ class Session:
         :meth:`~repro.core.engine.GrapeEngine.run` (``keep_state``,
         ``checkpoint``).
         """
+        if self.validate:
+            from repro.analysis import analyze_program, require_clean
+
+            require_clean(
+                analyze_program(program),
+                subject=f"PIE program {type(program).__name__}",
+            )
         return self.engine().run(program, query, **engine_kwargs)
 
     def run_registered(

@@ -19,12 +19,27 @@ class PartitionError(GrapeError):
     """A partition strategy was misused or produced an invalid partition."""
 
 
-class RuntimeErrorGrape(GrapeError):
+class EngineRuntimeError(GrapeError):
     """The simulated cluster runtime detected an inconsistency."""
+
+
+#: Deprecated alias, kept so existing ``except RuntimeErrorGrape`` sites
+#: and imports continue to work; new code should catch
+#: :class:`EngineRuntimeError`.
+RuntimeErrorGrape = EngineRuntimeError
 
 
 class ProgramError(GrapeError):
     """A PIE / vertex / block program violated its contract."""
+
+
+class AnalysisError(ProgramError):
+    """grape-lint rejected a PIE program (or could not analyze it).
+
+    Raised by the static verifier in :mod:`repro.analysis` when a
+    program carries error-severity findings — the static counterpart of
+    :class:`MonotonicityError` — or when a source file cannot be parsed.
+    """
 
 
 class MonotonicityError(ProgramError):

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import RuntimeErrorGrape
+from repro.errors import EngineRuntimeError
 from repro.runtime.message import COORDINATOR, Message
 
 
@@ -29,7 +29,7 @@ class MPIController:
 
     def __init__(self, num_workers: int) -> None:
         if num_workers < 1:
-            raise RuntimeErrorGrape("cluster needs at least one worker")
+            raise EngineRuntimeError("cluster needs at least one worker")
         self.num_workers = num_workers
         self._outgoing: list[Message] = []
         self._inboxes: dict[int, list[Message]] = {
@@ -39,7 +39,7 @@ class MPIController:
 
     def _check_rank(self, rank: int) -> None:
         if rank != COORDINATOR and not 0 <= rank < self.num_workers:
-            raise RuntimeErrorGrape(f"invalid rank {rank}")
+            raise EngineRuntimeError(f"invalid rank {rank}")
 
     def send(self, src: int, dst: int, payload: object) -> Message:
         """Queue a message for delivery at the next flush."""

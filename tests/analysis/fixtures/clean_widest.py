@@ -1,0 +1,36 @@
+"""Fixture: a clean PIE program — grape-lint reports nothing."""
+
+from repro.core.aggregators import MAX
+from repro.core.pie import ParamSpec, PIEProgram
+
+
+class CleanWidestProgram(PIEProgram):
+    name = "fixture-clean"
+
+    def param_spec(self, query):
+        return ParamSpec(aggregator=MAX, default=0.0)
+
+    def peval(self, fragment, query, params):
+        widest = {}
+        if query.source in fragment.graph:
+            widest[query.source] = float("inf")
+        for v in fragment.border:
+            if widest.get(v, 0.0) > 0.0:
+                params.improve(v, widest[v])
+        return widest
+
+    def inceval(self, fragment, query, partial, params, changed):
+        seeds = {v: params.get(v) for v in changed}
+        for v, cap in seeds.items():
+            if cap > partial.get(v, 0.0):
+                partial[v] = cap
+                params.improve(v, cap)
+        return partial
+
+    def assemble(self, query, partials):
+        best = {}
+        for partial in partials:
+            for v, cap in partial.items():
+                if cap > best.get(v, 0.0):
+                    best[v] = cap
+        return best

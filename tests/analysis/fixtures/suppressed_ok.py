@@ -1,0 +1,31 @@
+"""Fixture: a violation silenced by an inline grape-lint pragma."""
+
+import random
+
+from repro.core.aggregators import MIN
+from repro.core.pie import ParamSpec, PIEProgram
+
+
+class SuppressedRandomProgram(PIEProgram):
+    name = "fixture-suppressed"
+
+    def param_spec(self, query):
+        return ParamSpec(aggregator=MIN, default=None)
+
+    def peval(self, fragment, query, params):
+        jitter = random.random()  # grape-lint: disable=GRP304
+        dist = {"jitter": jitter}
+        for v in fragment.border:
+            params.improve(v, dist.get(v, 0))
+        return dist
+
+    def inceval(self, fragment, query, partial, params, changed):
+        for v in changed:
+            params.improve(v, partial.get(v, 0))
+        return partial
+
+    def assemble(self, query, partials):
+        out = {}
+        for partial in partials:
+            out.update(partial)
+        return out

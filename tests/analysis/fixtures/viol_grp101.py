@@ -1,0 +1,28 @@
+"""Fixture: GRP101 — max(...) written under the MIN aggregator."""
+
+from repro.core.aggregators import MIN
+from repro.core.pie import ParamSpec, PIEProgram
+
+
+class MaxUnderMinProgram(PIEProgram):
+    name = "fixture-grp101"
+
+    def param_spec(self, query):
+        return ParamSpec(aggregator=MIN, default=None)
+
+    def peval(self, fragment, query, params):
+        dist = {}
+        for v in fragment.border:
+            params.improve(v, max(dist.get(v, 0), 1))  # contradicts MIN
+        return dist
+
+    def inceval(self, fragment, query, partial, params, changed):
+        for v in changed:
+            params.improve(v, partial.get(v, 0))
+        return partial
+
+    def assemble(self, query, partials):
+        out = {}
+        for partial in partials:
+            out.update(partial)
+        return out

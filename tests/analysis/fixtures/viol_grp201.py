@@ -1,0 +1,29 @@
+"""Fixture: GRP201 — IncEval scans every owned vertex of the fragment."""
+
+from repro.core.aggregators import MIN
+from repro.core.pie import ParamSpec, PIEProgram
+
+
+class FullScanIncEvalProgram(PIEProgram):
+    name = "fixture-grp201"
+
+    def param_spec(self, query):
+        return ParamSpec(aggregator=MIN, default=None)
+
+    def peval(self, fragment, query, params):
+        dist = {}
+        for v in fragment.border:
+            params.improve(v, dist.get(v, 0))
+        return dist
+
+    def inceval(self, fragment, query, partial, params, changed):
+        seeds = {v: params.get(v) for v in changed}
+        for v in fragment.owned:  # unbounded: O(|F_i|) every round
+            params.improve(v, seeds.get(v, partial.get(v, 0)))
+        return partial
+
+    def assemble(self, query, partials):
+        out = {}
+        for partial in partials:
+            out.update(partial)
+        return out

@@ -1,0 +1,30 @@
+"""Fixture: GRP202 — IncEval republishes the entire border every round."""
+
+from repro.core.aggregators import MIN
+from repro.core.pie import ParamSpec, PIEProgram
+
+
+class BorderRepublishProgram(PIEProgram):
+    name = "fixture-grp202"
+
+    def param_spec(self, query):
+        return ParamSpec(aggregator=MIN, default=None)
+
+    def peval(self, fragment, query, params):
+        dist = {}
+        for v in fragment.border:
+            params.improve(v, dist.get(v, 0))
+        return dist
+
+    def inceval(self, fragment, query, partial, params, changed):
+        seeds = {v: params.get(v) for v in changed}
+        partial.update(seeds)
+        for v in fragment.border:  # O(|border|) regardless of |M_i|
+            params.improve(v, partial.get(v, 0))
+        return partial
+
+    def assemble(self, query, partials):
+        out = {}
+        for partial in partials:
+            out.update(partial)
+        return out

@@ -1,0 +1,30 @@
+"""Fixture: GRP203 — IncEval recomputes from scratch, ignoring ``changed``."""
+
+from repro.core.aggregators import MIN
+from repro.core.pie import ParamSpec, PIEProgram
+
+
+class RecomputeIncEvalProgram(PIEProgram):
+    name = "fixture-grp203"
+
+    def param_spec(self, query):
+        return ParamSpec(aggregator=MIN, default=None)
+
+    def peval(self, fragment, query, params):
+        dist = {}
+        for v in fragment.border:
+            params.improve(v, dist.get(v, 0))
+        return dist
+
+    def inceval(self, fragment, query, partial, params, changed):
+        return self._recompute(fragment, params, partial)
+
+    def _recompute(self, fragment, params, partial):
+        fresh = dict(partial)
+        return fresh
+
+    def assemble(self, query, partials):
+        out = {}
+        for partial in partials:
+            out.update(partial)
+        return out

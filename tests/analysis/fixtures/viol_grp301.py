@@ -1,0 +1,31 @@
+"""Fixture: GRP301 — PEval caches state in a module-level global."""
+
+from repro.core.aggregators import MIN
+from repro.core.pie import ParamSpec, PIEProgram
+
+SEEN = {}  # shared by every simulated worker
+
+
+class GlobalStateProgram(PIEProgram):
+    name = "fixture-grp301"
+
+    def param_spec(self, query):
+        return ParamSpec(aggregator=MIN, default=None)
+
+    def peval(self, fragment, query, params):
+        SEEN[query.source] = True  # leaks across the BSP barrier
+        dist = {}
+        for v in fragment.border:
+            params.improve(v, dist.get(v, 0))
+        return dist
+
+    def inceval(self, fragment, query, partial, params, changed):
+        for v in changed:
+            params.improve(v, partial.get(v, 0))
+        return partial
+
+    def assemble(self, query, partials):
+        out = {}
+        for partial in partials:
+            out.update(partial)
+        return out

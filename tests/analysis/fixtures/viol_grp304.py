@@ -1,0 +1,31 @@
+"""Fixture: GRP304 — unseeded randomness inside PEval."""
+
+import random
+
+from repro.core.aggregators import MIN
+from repro.core.pie import ParamSpec, PIEProgram
+
+
+class UnseededRandomProgram(PIEProgram):
+    name = "fixture-grp304"
+
+    def param_spec(self, query):
+        return ParamSpec(aggregator=MIN, default=None)
+
+    def peval(self, fragment, query, params):
+        dist = {}
+        for v in fragment.border:
+            if random.random() < 0.5:  # irreproducible supersteps
+                params.improve(v, dist.get(v, 0))
+        return dist
+
+    def inceval(self, fragment, query, partial, params, changed):
+        for v in changed:
+            params.improve(v, partial.get(v, 0))
+        return partial
+
+    def assemble(self, query, partials):
+        out = {}
+        for partial in partials:
+            out.update(partial)
+        return out

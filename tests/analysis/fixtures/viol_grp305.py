@@ -1,0 +1,31 @@
+"""Fixture: GRP305 — wall-clock dependence inside PEval."""
+
+import time
+
+from repro.core.aggregators import MIN
+from repro.core.pie import ParamSpec, PIEProgram
+
+
+class WallClockProgram(PIEProgram):
+    name = "fixture-grp305"
+
+    def param_spec(self, query):
+        return ParamSpec(aggregator=MIN, default=None)
+
+    def peval(self, fragment, query, params):
+        deadline = time.time() + 0.5  # superstep depends on the clock
+        dist = {"deadline": deadline}
+        for v in fragment.border:
+            params.improve(v, dist.get(v, 0))
+        return dist
+
+    def inceval(self, fragment, query, partial, params, changed):
+        for v in changed:
+            params.improve(v, partial.get(v, 0))
+        return partial
+
+    def assemble(self, query, partials):
+        out = {}
+        for partial in partials:
+            out.update(partial)
+        return out

@@ -1,0 +1,33 @@
+"""Fixture: GRP306 — unsorted-set iteration feeding order-sensitive writes.
+
+Uses LAST_WRITE (unordered) so the raw ``params.set`` itself is legal;
+the violation is purely the nondeterministic iteration order.
+"""
+
+from repro.core.aggregators import LAST_WRITE
+from repro.core.pie import ParamSpec, PIEProgram
+
+
+class UnsortedSetWriteProgram(PIEProgram):
+    name = "fixture-grp306"
+
+    def param_spec(self, query):
+        return ParamSpec(aggregator=LAST_WRITE, default=None)
+
+    def peval(self, fragment, query, params):
+        token = 0
+        for v in set(fragment.border):  # iteration order varies
+            token += 1
+            params.set(v, token)
+        return {"token": token}
+
+    def inceval(self, fragment, query, partial, params, changed):
+        for v in changed:
+            params.improve(v, partial.get(v, 0))
+        return partial
+
+    def assemble(self, query, partials):
+        out = {}
+        for partial in partials:
+            out.update(partial)
+        return out

@@ -1,0 +1,29 @@
+"""Fixture: GRP401 — default is the top of MAX's increasing order."""
+
+from repro.core.aggregators import MAX
+from repro.core.pie import ParamSpec, PIEProgram
+
+
+class DegenerateDefaultProgram(PIEProgram):
+    name = "fixture-grp401"
+
+    def param_spec(self, query):
+        # +inf can never be improved under an increasing order.
+        return ParamSpec(aggregator=MAX, default=float("inf"))
+
+    def peval(self, fragment, query, params):
+        best = {}
+        for v in fragment.border:
+            params.improve(v, best.get(v, 0))
+        return best
+
+    def inceval(self, fragment, query, partial, params, changed):
+        for v in changed:
+            params.improve(v, partial.get(v, 0))
+        return partial
+
+    def assemble(self, query, partials):
+        out = {}
+        for partial in partials:
+            out.update(partial)
+        return out

@@ -1,0 +1,29 @@
+"""Fixture: GRP403 — Assemble stashes state on the program object."""
+
+from repro.core.aggregators import MIN
+from repro.core.pie import ParamSpec, PIEProgram
+
+
+class ImpureAssembleProgram(PIEProgram):
+    name = "fixture-grp403"
+
+    def param_spec(self, query):
+        return ParamSpec(aggregator=MIN, default=None)
+
+    def peval(self, fragment, query, params):
+        dist = {}
+        for v in fragment.border:
+            params.improve(v, dist.get(v, 0))
+        return dist
+
+    def inceval(self, fragment, query, partial, params, changed):
+        for v in changed:
+            params.improve(v, partial.get(v, 0))
+        return partial
+
+    def assemble(self, query, partials):
+        self.cache = [dict(p) for p in partials]  # not a pure combine
+        out = {}
+        for partial in self.cache:
+            out.update(partial)
+        return out

@@ -1,0 +1,126 @@
+"""Each fixture program violates exactly one grape-lint rule."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_path, analyze_source
+from repro.analysis.findings import CATALOG
+from repro.analysis.runner import active
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+EXPECTED = {
+    "viol_grp101.py": "GRP101",
+    "viol_grp102.py": "GRP102",
+    "viol_grp201.py": "GRP201",
+    "viol_grp202.py": "GRP202",
+    "viol_grp203.py": "GRP203",
+    "viol_grp301.py": "GRP301",
+    "viol_grp302.py": "GRP302",
+    "viol_grp303.py": "GRP303",
+    "viol_grp304.py": "GRP304",
+    "viol_grp305.py": "GRP305",
+    "viol_grp306.py": "GRP306",
+    "viol_grp401.py": "GRP401",
+    "viol_grp402.py": "GRP402",
+    "viol_grp403.py": "GRP403",
+}
+
+
+@pytest.mark.parametrize("filename,code", sorted(EXPECTED.items()))
+def test_fixture_flags_exactly_its_rule(filename: str, code: str) -> None:
+    findings = active(analyze_path(str(FIXTURES / filename)))
+    assert [f.code for f in findings] == [code], [str(f) for f in findings]
+    finding = findings[0]
+    assert finding.severity == CATALOG[code].severity
+    assert finding.hint
+    assert finding.line > 0
+    assert finding.program.endswith("Program")
+
+
+def test_every_static_rule_has_a_fixture() -> None:
+    static_codes = {c for c in CATALOG if c != "GRP100"}
+    assert set(EXPECTED.values()) == static_codes
+
+
+def test_clean_program_reports_nothing() -> None:
+    assert analyze_path(str(FIXTURES / "clean_widest.py")) == []
+
+
+def test_pragma_suppresses_finding() -> None:
+    findings = analyze_path(str(FIXTURES / "suppressed_ok.py"))
+    assert [f.code for f in findings] == ["GRP304"]
+    assert findings[0].suppressed
+    assert active(findings) == []
+
+
+def test_pragma_on_comment_line_covers_next_line() -> None:
+    source = (
+        "from repro.core.aggregators import MIN\n"
+        "from repro.core.pie import ParamSpec, PIEProgram\n"
+        "CACHE = {}\n"
+        "class P(PIEProgram):\n"
+        "    def param_spec(self, query):\n"
+        "        return ParamSpec(aggregator=MIN, default=None)\n"
+        "    def peval(self, fragment, query, params):\n"
+        "        # grape-lint: disable=GRP301\n"
+        "        CACHE['x'] = 1\n"
+        "        return {}\n"
+        "    def inceval(self, fragment, query, partial, params, changed):\n"
+        "        return partial\n"
+        "    def assemble(self, query, partials):\n"
+        "        return partials\n"
+    )
+    findings = analyze_source(source)
+    assert [f.code for f in findings] == ["GRP301"]
+    assert findings[0].suppressed
+
+
+def test_pragma_disable_all() -> None:
+    source = (
+        "class P:\n"
+        "    def peval(self, fragment, query, params):\n"
+        "        import random\n"
+        "        return random.random()  # grape-lint: disable=all\n"
+        "    def inceval(self, fragment, query, partial, params, changed):\n"
+        "        return partial\n"
+        "    def assemble(self, query, partials):\n"
+        "        return partials\n"
+    )
+    findings = analyze_source(source)
+    assert all(f.suppressed for f in findings)
+
+
+def test_aggregator_resolves_through_local_inheritance() -> None:
+    # A subclass overriding only inceval inherits the parent's declared
+    # aggregator for rule evaluation (the ablation-module shape).
+    source = (
+        "from repro.core.aggregators import MIN\n"
+        "from repro.core.pie import ParamSpec, PIEProgram\n"
+        "class Base(PIEProgram):\n"
+        "    def param_spec(self, query):\n"
+        "        return ParamSpec(aggregator=MIN, default=None)\n"
+        "    def peval(self, fragment, query, params):\n"
+        "        return {}\n"
+        "    def inceval(self, fragment, query, partial, params, changed):\n"
+        "        return partial\n"
+        "    def assemble(self, query, partials):\n"
+        "        return partials\n"
+        "class Variant(Base):\n"
+        "    def inceval(self, fragment, query, partial, params, changed):\n"
+        "        for v in changed:\n"
+        "            params.set(v, partial.get(v, 0))\n"
+        "        return partial\n"
+    )
+    findings = active(analyze_source(source))
+    assert [(f.program, f.code) for f in findings] == [("Variant", "GRP102")]
+
+
+def test_syntax_error_raises_analysis_error() -> None:
+    from repro.errors import AnalysisError
+
+    with pytest.raises(AnalysisError, match="cannot parse"):
+        analyze_source("def broken(:\n", path="bad.py")

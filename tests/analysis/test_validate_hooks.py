@@ -1,0 +1,88 @@
+"""Opt-in grape-lint hooks: registry ``validate=True`` and Session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.sssp import SSSPProgram, SSSPQuery
+from repro.analysis import analyze_program
+from repro.analysis.runner import active
+from repro.core.aggregators import MIN
+from repro.core.pie import ParamSpec, PIEProgram
+from repro.engineapi import registry
+from repro.engineapi.session import Session
+from repro.errors import AnalysisError
+from repro.graph.generators import road_network
+
+_SCRATCH = {}
+
+
+class LeakyProgram(PIEProgram):
+    """Deliberately violates GRP301: mutates a module-level global."""
+
+    name = "fixture-leaky"
+
+    def param_spec(self, query):
+        return ParamSpec(aggregator=MIN, default=None)
+
+    def peval(self, fragment, query, params):
+        _SCRATCH[query.source] = True
+        return {}
+
+    def inceval(self, fragment, query, partial, params, changed):
+        return partial
+
+    def assemble(self, query, partials):
+        return partials
+
+
+def test_analyze_program_on_live_class():
+    findings = analyze_program(LeakyProgram)
+    assert "GRP301" in {f.code for f in findings}
+
+
+def test_analyze_program_clean_builtin():
+    assert active(analyze_program(SSSPProgram)) == []
+
+
+def test_register_validate_rejects_leaky_program():
+    with pytest.raises(AnalysisError, match="GRP301"):
+        registry.register_program(
+            "leaky-reject", LeakyProgram, validate=True
+        )
+    assert "leaky-reject" not in registry.available_programs()
+
+
+def test_register_validate_rejects_opaque_factory():
+    with pytest.raises(AnalysisError, match="requires a PIEProgram class"):
+        registry.register_program(
+            "opaque-reject", lambda: SSSPProgram(), validate=True
+        )
+
+
+def test_register_validate_accepts_clean_program():
+    registry.register_program("validated-sssp", SSSPProgram, validate=True)
+    try:
+        assert "validated-sssp" in registry.available_programs()
+    finally:
+        registry._FACTORIES.pop("validated-sssp", None)
+
+
+def test_session_validate_blocks_leaky_program():
+    session = Session(road_network(4, 4, seed=1), num_workers=2, validate=True)
+    with pytest.raises(AnalysisError, match="GRP301"):
+        session.run(LeakyProgram(), SSSPQuery(source=0))
+
+
+def test_session_validate_passes_clean_program():
+    session = Session(road_network(4, 4, seed=1), num_workers=2, validate=True)
+    result = session.run(SSSPProgram(), SSSPQuery(source=0))
+    assert result.answer[0] == 0.0
+
+
+def test_session_default_does_not_validate():
+    session = Session(road_network(4, 4, seed=1), num_workers=2)
+    # LeakyProgram is semantically harmless at runtime; without the
+    # opt-in flag the session must not reject it.
+    result = session.run(LeakyProgram(), SSSPQuery(source=0))
+    assert result.answer is not None
