@@ -1,10 +1,15 @@
-"""Fault tolerance: checkpoint at superstep barriers, recover a crash.
+"""Fault tolerance: declarative fault injection + self-healing recovery.
 
-BSP engines checkpoint at barriers so a failure costs only the rounds
-since the last snapshot. This example runs SSSP with a checkpoint
-policy, kills a worker mid-fixpoint (a raised exception), then recovers
-from the newest DFS snapshot — monotone programs just re-ship their
-border values and re-converge.
+BSP engines checkpoint at superstep barriers so a failure costs only
+the rounds since the last snapshot. This example injects a *fatal*
+worker crash mid-fixpoint via a seed-deterministic
+:class:`~repro.runtime.faults.FaultPlan` — no program subclassing, no
+exception handling at the call site. With a checkpoint policy
+installed, the engine's supervisor recovers **in-run**: it reloads the
+newest DFS snapshot, re-ships every border value (idempotent under the
+monotone aggregate), and the fixed point re-converges to the exact
+fault-free answer. The same plan without a checkpoint fails fast,
+naming the rounds that cannot be recovered.
 
 Run:  python examples/fault_tolerance.py
 """
@@ -15,58 +20,56 @@ from repro.algorithms import SSSPProgram, SSSPQuery
 from repro.algorithms.sequential import single_source
 from repro.core.checkpoint import CheckpointPolicy
 from repro.core.engine import GrapeEngine
+from repro.errors import WorkerFailure
 from repro.graph.fragment import build_fragments
 from repro.graph.generators import road_network
 from repro.partition.registry import get_partitioner
+from repro.runtime.faults import CrashFault, FaultPlan
 from repro.storage.dfs import SimulatedDFS
-
-
-class FlakySSSP(SSSPProgram):
-    """SSSP whose 7th IncEval call dies (a simulated machine failure)."""
-
-    def __init__(self) -> None:
-        super().__init__()
-        self.calls = 0
-
-    def inceval(self, fragment, query, partial, params, changed):
-        self.calls += 1
-        if self.calls == 7:
-            raise ConnectionError(f"worker {fragment.fid} lost power")
-        return super().inceval(fragment, query, partial, params, changed)
 
 
 def main() -> None:
     graph = road_network(25, 25, seed=31, removal_prob=0.0)
     assignment = get_partitioner("bfs")(graph, 5)
     engine = GrapeEngine(build_fragments(graph, assignment, 5, "bfs"))
+    query = SSSPQuery(source=0)
+
+    # Permanent loss of one worker, four supersteps into the fixpoint.
+    # Same plan + same seed => identical fault schedule on every run.
+    plan = FaultPlan(
+        faults=(CrashFault(at_superstep=4, fatal=True),), seed=11
+    )
 
     with tempfile.TemporaryDirectory() as tmp:
         policy = CheckpointPolicy(
-            SimulatedDFS(tmp), every=1, tag="sssp-road"
+            SimulatedDFS(tmp), every=1, tag="sssp-road", keep=3
         )
-        try:
-            engine.run(FlakySSSP(), SSSPQuery(source=0), checkpoint=policy)
-        except ConnectionError as exc:
-            print(f"crash mid-fixpoint: {exc}")
-        saved = policy.rounds_saved()
-        print(f"checkpoints on DFS: rounds {saved}")
-
-        recovered = engine.resume_from_checkpoint(
-            SSSPProgram(), SSSPQuery(source=0), policy
+        result = engine.run(
+            SSSPProgram(), query, checkpoint=policy, faults=plan
         )
+        f = result.metrics.faults
         print(
-            f"recovered in {len(recovered.rounds)} IncEval rounds "
-            f"(+1 recovery superstep)"
+            f"crash absorbed in-run: {f.recoveries} recovery, "
+            f"{f.rounds_lost} rounds lost, "
+            f"{f.recovery_supersteps} recovery superstep"
         )
+        print(f"checkpoints retained on DFS: rounds {policy.rounds_saved()}")
 
         oracle = single_source(graph, 0)
         bad = sum(
             1
             for v in graph.vertices()
-            if recovered.answer.get(v, float("inf")) != oracle[v]
-            and abs(recovered.answer.get(v, float("inf")) - oracle[v]) > 1e-9
+            if result.answer.get(v, float("inf")) != oracle[v]
+            and abs(result.answer.get(v, float("inf")) - oracle[v]) > 1e-9
         )
         print(f"vs fresh computation: {bad} mismatches")
+
+    # Same fatal crash without a checkpoint policy: fail fast, with the
+    # unrecoverable rounds named in the error.
+    try:
+        engine.run(SSSPProgram(), query, faults=plan)
+    except WorkerFailure as exc:
+        print(f"without checkpoints: {exc}")
 
 
 if __name__ == "__main__":

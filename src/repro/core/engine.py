@@ -15,6 +15,18 @@ Two routing modes are provided: ``"coordinator"`` (the paper's workflow,
 messages travel via P0) and ``"direct"`` (an extension mirroring
 libgrape-lite, where workers exchange parameters peer-to-peer and the
 coordinator only detects termination).
+
+Supervision (the chaos runtime): every worker compute interval runs
+under a :class:`~repro.core.supervisor.Supervisor`. Transient worker
+failures are retried in place with deterministic simulated backoff; a
+fatal loss during the IncEval fixpoint triggers *in-run* checkpoint
+recovery — reload the newest snapshot, re-ship border values (monotone
+re-convergence, as in ``resume_from_checkpoint``) and continue — so the
+caller gets the answer without touching an exception. Without a
+checkpoint policy a fatal loss fails fast, naming the unrecoverable
+rounds. Pass ``faults=``
+:class:`~repro.runtime.faults.FaultPlan` to inject failures
+deterministically.
 """
 
 from __future__ import annotations
@@ -23,10 +35,17 @@ from dataclasses import dataclass, field
 from typing import Generic, Hashable
 
 from repro.core.assurance import MonotonicityChecker
+from repro.core.incremental import EngineState
 from repro.core.pie import P, PIEProgram, Q, R
+from repro.core.supervisor import SupervisionPolicy, Supervisor
 from repro.core.termination import FixpointGuard
 from repro.core.update_params import UpdateParams
-from repro.errors import ProgramError
+from repro.errors import (
+    FatalWorkerFailure,
+    ProgramError,
+    StorageError,
+    WorkerFailure,
+)
 from repro.graph.fragment import FragmentedGraph
 from repro.runtime.cluster import Cluster
 from repro.runtime.costmodel import CostModel
@@ -79,6 +98,8 @@ class GrapeEngine:
             aggregator's partial order (strict: raise on violation).
         max_supersteps: fixed-point cap for non-monotonic programs.
         routing: ``"coordinator"`` (paper default) or ``"direct"``.
+        supervision: retry/backoff/recovery knobs (defaults to
+            :class:`~repro.core.supervisor.SupervisionPolicy`).
     """
 
     def __init__(
@@ -89,6 +110,7 @@ class GrapeEngine:
         strict_monotonic: bool = True,
         max_supersteps: int = 10_000,
         routing: str = "coordinator",
+        supervision: SupervisionPolicy | None = None,
     ) -> None:
         if routing not in ("coordinator", "direct"):
             raise ProgramError(f"unknown routing mode {routing!r}")
@@ -98,6 +120,7 @@ class GrapeEngine:
         self.strict_monotonic = strict_monotonic
         self.max_supersteps = max_supersteps
         self.routing = routing
+        self.supervision = supervision or SupervisionPolicy()
 
     # ------------------------------------------------------------------
     def run(
@@ -106,6 +129,7 @@ class GrapeEngine:
         query: Q,
         keep_state: bool = False,
         checkpoint=None,
+        faults=None,
     ) -> GrapeResult[R]:
         """Compute ``Q(G)`` = Assemble(fixpoint(PEval, IncEval)).
 
@@ -114,13 +138,13 @@ class GrapeEngine:
         resumed after edge insertions via :meth:`run_incremental`.
         With a :class:`~repro.core.checkpoint.CheckpointPolicy` the
         engine snapshots its state every ``policy.every`` IncEval rounds
-        (see :meth:`resume_from_checkpoint`).
+        *and* recovers fatal worker losses in-run from the newest
+        snapshot (see module docstring). With a
+        :class:`~repro.runtime.faults.FaultPlan` in ``faults`` the run
+        executes under that plan's deterministic fault schedule.
         """
-        cluster = Cluster(
-            self.fragmented.num_fragments,
-            self.cost_model,
-            engine_name=f"grape[{program.name}]",
-        )
+        cluster = self._make_cluster(f"grape[{program.name}]", faults)
+        supervisor = Supervisor(self.supervision, cluster.metrics.faults)
         n = cluster.num_workers
         spec = program.param_spec(query)
         checker: MonotonicityChecker | None = None
@@ -141,50 +165,30 @@ class GrapeEngine:
         rounds: list[RoundInfo] = []
 
         # ---------------- Superstep 0: PEval ----------------
+        # Transient failures are retried in place; a fatal loss here
+        # propagates (no snapshot of this run can exist before round 1).
         with cluster.superstep("peval") as step:
             for wid in range(n):
                 frag = self.fragmented.fragments[wid]
-                with step.compute(wid):
+
+                def _peval(wid=wid, frag=frag):
                     partials[wid] = program.peval(frag, query, params[wid])
-                    changes = params[wid].consume_changes()
+                    return params[wid].consume_changes()
+
+                changes = supervisor.attempt(step, wid, _peval)
                 if changes:
                     self._emit(step, wid, changes)
 
         # ---------------- IncEval rounds ----------------
-        while True:
-            if not self._pending(cluster) and not self._any_active(
-                program, partials
-            ):
-                break
-            with cluster.superstep("inceval") as step:
-                shipped, applied, active = self._inceval_round(
-                    cluster, step, program, query, params, partials
-                )
-            guard.record_round(shipped)
-            rounds.append(
-                RoundInfo(
-                    round_index=guard.rounds,
-                    params_shipped=shipped,
-                    params_applied=applied,
-                    active_workers=active,
-                )
-            )
-            if checkpoint is not None and guard.rounds % checkpoint.every == 0:
-                from repro.core.incremental import EngineState
+        self._fixpoint(
+            cluster, program, query, params, partials, guard, rounds,
+            checkpoint, supervisor, checker,
+        )
 
-                checkpoint.save(
-                    guard.rounds, EngineState(partials=partials, params=params)
-                )
-
-        # ---------------- Assemble ----------------
-        with cluster.superstep("assemble") as step:
-            with step.compute(COORDINATOR):
-                answer = program.assemble(query, partials)
+        answer = self._assemble(cluster, program, query, partials, supervisor)
 
         state = None
         if keep_state:
-            from repro.core.incremental import EngineState
-
             state = EngineState(partials=partials, params=params)
         return GrapeResult(
             answer=answer,
@@ -201,6 +205,8 @@ class GrapeEngine:
         query: Q,
         state,
         insertions,
+        checkpoint=None,
+        faults=None,
     ) -> GrapeResult[R]:
         """Resume a fixed point after edge insertions (ΔG).
 
@@ -211,14 +217,14 @@ class GrapeEngine:
         repairs its partial answer through ``program.on_graph_update``;
         the ordinary IncEval fixpoint and Assemble follow. Monotone-safe
         for insertions only (see :mod:`repro.core.incremental`).
+        ``checkpoint`` and ``faults`` behave exactly as in :meth:`run`:
+        long post-ΔG fixpoints snapshot on the same cadence and recover
+        fatal losses in-run.
         """
         from repro.core.incremental import apply_insertions
 
-        cluster = Cluster(
-            self.fragmented.num_fragments,
-            self.cost_model,
-            engine_name=f"grape-inc[{program.name}]",
-        )
+        cluster = self._make_cluster(f"grape-inc[{program.name}]", faults)
+        supervisor = Supervisor(self.supervision, cluster.metrics.faults)
         n = cluster.num_workers
         partials = state.partials
         params = state.params
@@ -239,40 +245,23 @@ class GrapeEngine:
         with cluster.superstep("update") as step:
             for wid, local_insertions in touched.items():
                 frag = self.fragmented.fragments[wid]
-                with step.compute(wid):
+
+                def _update(wid=wid, frag=frag, ins=local_insertions):
                     partials[wid] = program.on_graph_update(
-                        frag, query, partials[wid], params[wid],
-                        local_insertions,
+                        frag, query, partials[wid], params[wid], ins
                     )
-                    changes = params[wid].consume_changes()
+                    return params[wid].consume_changes()
+
+                changes = supervisor.attempt(step, wid, _update)
                 if changes:
                     self._emit(step, wid, changes)
 
-        while True:
-            if not self._pending(cluster) and not self._any_active(
-                program, partials
-            ):
-                break
-            with cluster.superstep("inceval") as step:
-                shipped, applied, active = self._inceval_round(
-                    cluster, step, program, query, params, partials
-                )
-            guard.record_round(shipped)
-            rounds.append(
-                RoundInfo(
-                    round_index=guard.rounds,
-                    params_shipped=shipped,
-                    params_applied=applied,
-                    active_workers=active,
-                )
-            )
+        self._fixpoint(
+            cluster, program, query, params, partials, guard, rounds,
+            checkpoint, supervisor, checker=None,
+        )
 
-        with cluster.superstep("assemble") as step:
-            with step.compute(COORDINATOR):
-                answer = program.assemble(query, partials)
-
-        from repro.core.incremental import EngineState
-
+        answer = self._assemble(cluster, program, query, partials, supervisor)
         return GrapeResult(
             answer=answer,
             metrics=cluster.metrics,
@@ -287,6 +276,7 @@ class GrapeEngine:
         program: PIEProgram[Q, P, R],
         query: Q,
         checkpoint,
+        faults=None,
     ) -> GrapeResult[R]:
         """Recover a crashed fixed point from its newest DFS snapshot.
 
@@ -296,54 +286,30 @@ class GrapeEngine:
         whatever messages were in flight when the run died; the ordinary
         IncEval fixpoint then finishes the remaining rounds. The cost of
         the crash is bounded by ``policy.every`` rounds of lost work.
+
+        The checkpoint policy stays live during recovery: the resumed
+        fixpoint keeps snapshotting every ``policy.every`` rounds
+        (numbered from the reloaded round), so a second crash while
+        recovering costs bounded work too.
         """
-        _, state = checkpoint.load_latest()
+        ckpt_round, state = checkpoint.load_latest()
         partials = state.partials
         params = state.params
-        cluster = Cluster(
-            self.fragmented.num_fragments,
-            self.cost_model,
-            engine_name=f"grape-recover[{program.name}]",
+        cluster = self._make_cluster(f"grape-recover[{program.name}]", faults)
+        supervisor = Supervisor(self.supervision, cluster.metrics.faults)
+        guard = FixpointGuard(
+            max_supersteps=self.max_supersteps, rounds=ckpt_round
         )
-        n = cluster.num_workers
-        guard = FixpointGuard(max_supersteps=self.max_supersteps)
         rounds: list[RoundInfo] = []
 
-        with cluster.superstep("recover") as step:
-            for wid in range(n):
-                with step.compute(wid):
-                    for v in params[wid].declared:
-                        if params[wid].get(v) != params[wid].default:
-                            params[wid].touch(v)
-                    changes = params[wid].consume_changes()
-                if changes:
-                    self._emit(step, wid, changes)
+        self._reship_borders(cluster, params, supervisor)
 
-        while True:
-            if not self._pending(cluster) and not self._any_active(
-                program, partials
-            ):
-                break
-            with cluster.superstep("inceval") as step:
-                shipped, applied, active = self._inceval_round(
-                    cluster, step, program, query, params, partials
-                )
-            guard.record_round(shipped)
-            rounds.append(
-                RoundInfo(
-                    round_index=guard.rounds,
-                    params_shipped=shipped,
-                    params_applied=applied,
-                    active_workers=active,
-                )
-            )
+        self._fixpoint(
+            cluster, program, query, params, partials, guard, rounds,
+            checkpoint, supervisor, checker=None,
+        )
 
-        with cluster.superstep("assemble") as step:
-            with step.compute(COORDINATOR):
-                answer = program.assemble(query, partials)
-
-        from repro.core.incremental import EngineState
-
+        answer = self._assemble(cluster, program, query, partials, supervisor)
         return GrapeResult(
             answer=answer,
             metrics=cluster.metrics,
@@ -355,6 +321,149 @@ class GrapeEngine:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _make_cluster(self, engine_name: str, faults) -> Cluster:
+        """A cluster for one run, with the fault plan's injector if any."""
+        injector = faults.injector() if faults is not None else None
+        return Cluster(
+            self.fragmented.num_fragments,
+            self.cost_model,
+            engine_name=engine_name,
+            injector=injector,
+        )
+
+    def _fixpoint(
+        self,
+        cluster: Cluster,
+        program: PIEProgram[Q, P, R],
+        query: Q,
+        params: list[UpdateParams],
+        partials: list[P],
+        guard: FixpointGuard,
+        rounds: list[RoundInfo],
+        checkpoint,
+        supervisor: Supervisor,
+        checker: MonotonicityChecker | None,
+    ) -> None:
+        """Drive IncEval rounds to the fixed point, healing fatal losses.
+
+        ``params``/``partials`` are mutated in place (including wholesale
+        replacement on recovery, hence the slice assignments in
+        :meth:`_recover`); ``rounds`` accumulates the full trace — the
+        re-executed rounds after a recovery appear again, which is the
+        honest account of what the cluster computed.
+        """
+        while True:
+            if not self._pending(cluster) and not self._any_active(
+                program, partials
+            ):
+                break
+            try:
+                with cluster.superstep("inceval") as step:
+                    shipped, applied, active = self._inceval_round(
+                        cluster, step, program, query, params, partials,
+                        supervisor,
+                    )
+            except WorkerFailure as failure:
+                if not failure.fatal:
+                    raise
+                self._recover(
+                    cluster, failure, checkpoint, params, partials, guard,
+                    supervisor, checker,
+                )
+                continue
+            guard.record_round(shipped)
+            rounds.append(
+                RoundInfo(
+                    round_index=guard.rounds,
+                    params_shipped=shipped,
+                    params_applied=applied,
+                    active_workers=active,
+                )
+            )
+            if checkpoint is not None and guard.rounds % checkpoint.every == 0:
+                checkpoint.save(
+                    guard.rounds, EngineState(partials=partials, params=params)
+                )
+
+    def _recover(
+        self,
+        cluster: Cluster,
+        failure: WorkerFailure,
+        checkpoint,
+        params: list[UpdateParams],
+        partials: list[P],
+        guard: FixpointGuard,
+        supervisor: Supervisor,
+        checker: MonotonicityChecker | None,
+    ) -> None:
+        """In-run recovery from a fatal worker loss mid-fixpoint."""
+        aborted_round = guard.rounds + 1
+        if checkpoint is None:
+            raise FatalWorkerFailure(
+                f"{failure}; IncEval rounds 1..{aborted_round} are "
+                "unrecoverable: no checkpoint policy configured (pass "
+                "checkpoint=CheckpointPolicy(...) to recover in-run)",
+                worker=failure.worker,
+                superstep=failure.superstep,
+            ) from failure
+        try:
+            ckpt_round, state = checkpoint.load_latest()
+        except StorageError as exc:
+            raise FatalWorkerFailure(
+                f"{failure}; IncEval rounds 1..{aborted_round} are "
+                f"unrecoverable: no snapshot persisted yet ({exc})",
+                worker=failure.worker,
+                superstep=failure.superstep,
+            ) from failure
+        supervisor.begin_recovery(failure)
+        # Completed-but-uncheckpointed rounds plus the aborted one.
+        lost = guard.rewind(ckpt_round) + 1
+        supervisor.counters.rounds_lost += lost
+        cluster.mpi.reset_in_flight()
+        params[:] = state.params
+        partials[:] = state.partials
+        if checker is not None:
+            # Snapshots travel observer-less (pickle); re-arm the checker.
+            for wid, store in enumerate(params):
+                store.attach_observer(checker.observer(wid))
+        self._reship_borders(cluster, params, supervisor)
+        supervisor.counters.recovery_supersteps += 1
+
+    def _reship_borders(
+        self,
+        cluster: Cluster,
+        params: list[UpdateParams],
+        supervisor: Supervisor,
+    ) -> None:
+        """One "recover" superstep: re-send every non-default border value."""
+        with cluster.superstep("recover") as step:
+            for wid in range(cluster.num_workers):
+
+                def _reship(wid=wid):
+                    store = params[wid]
+                    for v in store.declared:
+                        if store.get(v) != store.default:
+                            store.touch(v)
+                    return store.consume_changes()
+
+                changes = supervisor.attempt(step, wid, _reship)
+                if changes:
+                    self._emit(step, wid, changes)
+
+    def _assemble(
+        self,
+        cluster: Cluster,
+        program: PIEProgram[Q, P, R],
+        query: Q,
+        partials: list[P],
+        supervisor: Supervisor,
+    ) -> R:
+        """Final superstep: the coordinator combines partial answers."""
+        with cluster.superstep("assemble") as step:
+            return supervisor.attempt(
+                step, COORDINATOR, lambda: program.assemble(query, partials)
+            )
+
     def _emit(self, step, wid: int, changes: dict[VertexId, object]) -> None:
         """Send changed parameters toward their consumers."""
         if self.routing == "coordinator":
@@ -390,11 +499,14 @@ class GrapeEngine:
         query: Q,
         params: list[UpdateParams],
         partials: list[P],
+        supervisor: Supervisor,
     ) -> tuple[int, int, int]:
         """One superstep: route messages, run IncEval, ship new changes.
 
         Returns (params shipped by workers this round, params applied,
-        active worker count).
+        active worker count). Each worker's apply+IncEval runs under the
+        supervisor: a retry re-applies its messages (idempotent under
+        the aggregate function) and re-runs IncEval.
         """
         n = cluster.num_workers
         aggregator = program.param_spec(query).aggregator
@@ -434,19 +546,28 @@ class GrapeEngine:
             locally_active = program.is_active(frag, partials[wid])
             if not messages and not locally_active:
                 continue
-            with step.compute(wid):
+
+            def _work(
+                wid=wid,
+                frag=frag,
+                messages=messages,
+                locally_active=locally_active,
+            ):
                 changed: set[VertexId] = set()
                 for msg in messages:
                     for v, value in msg.payload.items():
                         if params[wid].apply_remote(v, value):
                             changed.add(v)
-                applied += len(changed)
                 if changed or locally_active:
-                    active += 1
                     partials[wid] = program.inceval(
                         frag, query, partials[wid], params[wid], changed
                     )
-                changes = params[wid].consume_changes()
+                return changed, params[wid].consume_changes()
+
+            changed, changes = supervisor.attempt(step, wid, _work)
+            applied += len(changed)
+            if changed or locally_active:
+                active += 1
             if changes:
                 shipped += len(changes)
                 self._emit(step, wid, changes)

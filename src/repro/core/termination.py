@@ -33,6 +33,23 @@ class FixpointGuard:
                 "is the plugged-in program monotonic?"
             )
 
+    def rewind(self, to_round: int) -> int:
+        """Roll the counter back to ``to_round`` (checkpoint recovery).
+
+        Returns the number of recorded rounds discarded — the work lost
+        to the crash. The superstep cap keeps counting from the rewound
+        position, so a fault schedule that keeps killing re-executions
+        still terminates.
+        """
+        lost = self.rounds - to_round
+        if lost <= 0:
+            return 0
+        self.rounds = to_round
+        del self.change_history[len(self.change_history) - min(
+            lost, len(self.change_history)
+        ):]
+        return lost
+
     @property
     def reached_fixpoint(self) -> bool:
         """True once a round ships no changes at all."""

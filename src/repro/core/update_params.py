@@ -167,6 +167,17 @@ class UpdateParams:
         """Copy of all current values (for tests and tracing)."""
         return dict(self._values)
 
+    def attach_observer(
+        self, on_write: Callable[[VertexId, object, object], None] | None
+    ) -> None:
+        """(Re-)attach a write observer.
+
+        Observers are closures and do not survive pickling, so states
+        reloaded from a checkpoint come back observer-less; the engine
+        re-attaches the monotonicity checker here after recovery.
+        """
+        self._on_write = on_write
+
     # ------------------------------------------------------------------
     # Pickling (checkpoints): observers are closures and cannot travel.
     # ------------------------------------------------------------------

@@ -5,6 +5,7 @@ Examples::
     grape run --graph road:40x40 --query sssp --source 0 --workers 8
     grape run --graph social:2000 --query cc --partition multilevel
     grape partitions --graph power:5000 --workers 16
+    grape chaos --graph road:20x20 --query sssp --source 0
     grape lint examples/ src/repro/algorithms/
     grape classes
 
@@ -163,6 +164,60 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if active(findings, min_severity=args.min_severity) else 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the fault-injection matrix and print a resilience report."""
+    import json
+
+    from repro.engineapi.chaos import run_chaos, standard_plans
+    from repro.runtime.faults import FaultPlan
+
+    graph = _make_graph(args.graph)
+    kwargs: dict[str, object] = {}
+    if args.source is not None:
+        kwargs["source"] = args.source
+    if args.keywords:
+        kwargs["keywords"] = args.keywords.split(",")
+    query = build_query(args.query, **kwargs)
+    program_kwargs: dict[str, object] = {}
+    if args.query == "pagerank":
+        program_kwargs["total_vertices"] = graph.num_vertices
+
+    if args.plan:
+        try:
+            with open(args.plan, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise GrapeError(f"cannot read fault plan {args.plan}: {exc}")
+        plans = {"custom": FaultPlan.from_dict(data)}
+    else:
+        plans = standard_plans(args.seed)
+        if args.classes:
+            wanted = args.classes.split(",")
+            unknown = [c for c in wanted if c not in plans]
+            if unknown:
+                raise GrapeError(
+                    f"unknown fault classes {unknown}; "
+                    f"available: {sorted(plans)}"
+                )
+            plans = {name: plans[name] for name in wanted}
+
+    report = run_chaos(
+        graph,
+        args.query,
+        query,
+        workers=args.workers,
+        partition=args.partition,
+        seed=args.seed,
+        plans=plans,
+        program_kwargs=program_kwargs,
+    )
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.format())
+    return 0 if report.survived_all else 1
+
+
 def _cmd_classes(args: argparse.Namespace) -> int:
     print("registered PIE programs:", ", ".join(available_programs()))
     print("query classes:", ", ".join(query_classes()))
@@ -227,6 +282,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--rules", action="store_true", help="print the rule catalog and exit"
     )
     lint.set_defaults(func=_cmd_lint)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a fault-injection matrix and report resilience",
+    )
+    chaos.add_argument("--graph", required=True,
+                       help="road:RxC|power:N|social:N")
+    chaos.add_argument("--query", required=True, choices=query_classes())
+    chaos.add_argument("--workers", type=int, default=4)
+    chaos.add_argument("--partition", default="hash")
+    chaos.add_argument("--source", type=int, default=None)
+    chaos.add_argument("--keywords", default=None)
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="fault-plan RNG seed (runs are reproducible)")
+    chaos.add_argument(
+        "--classes", default=None,
+        help="comma-separated subset of the standard matrix "
+             "(crash-fatal,crash-transient,drop,duplicate,corrupt,straggler)",
+    )
+    chaos.add_argument(
+        "--plan", default=None, metavar="FILE.json",
+        help="run one custom FaultPlan from a JSON file instead",
+    )
+    chaos.add_argument("--json", action="store_true",
+                       help="machine-readable report")
+    chaos.set_defaults(func=_cmd_chaos)
 
     classes = sub.add_parser("classes", help="list registered components")
     classes.set_defaults(func=_cmd_classes)

@@ -51,6 +51,52 @@ class MonotonicityError(ProgramError):
     """
 
 
+class WorkerFailure(EngineRuntimeError):
+    """A simulated worker died while computing a superstep.
+
+    The supervisor in :class:`~repro.core.engine.GrapeEngine` reacts by
+    failure class: transient failures are retried with capped
+    exponential backoff (simulated time); fatal failures trigger
+    checkpoint recovery, or fail fast when no policy is installed.
+
+    Attributes:
+        worker: rank of the lost worker (None if unknown).
+        superstep: superstep index at which the failure struck.
+    """
+
+    #: Whether the worker is permanently lost (vs worth retrying).
+    fatal = False
+
+    def __init__(
+        self,
+        message: str,
+        worker: int | None = None,
+        superstep: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.worker = worker
+        self.superstep = superstep
+
+
+class TransientWorkerFailure(WorkerFailure):
+    """A worker failure expected to heal on retry (flaky node, OOM kill)."""
+
+
+class FatalWorkerFailure(WorkerFailure):
+    """A worker is permanently lost; its in-memory state is gone."""
+
+    fatal = True
+
+
+class TransportError(EngineRuntimeError):
+    """The message layer detected corruption or gave up on delivery.
+
+    Raised when a payload checksum mismatch is found without a retained
+    copy to retransmit, or when a message stays undeliverable past the
+    controller's retransmission cap (persistent drop/corruption).
+    """
+
+
 class StorageError(GrapeError):
     """Simulated-DFS or serialization failure."""
 

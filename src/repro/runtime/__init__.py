@@ -12,16 +12,33 @@ substitution preserves the paper's relative results.
 
 from repro.runtime.cluster import Cluster
 from repro.runtime.costmodel import CostModel
+from repro.runtime.faults import (
+    CorruptFault,
+    CrashFault,
+    DropFault,
+    DuplicateFault,
+    FaultInjector,
+    FaultPlan,
+    StragglerFault,
+)
 from repro.runtime.message import COORDINATOR, Message
-from repro.runtime.metrics import RunMetrics, SuperstepMetrics
+from repro.runtime.metrics import FaultCounters, RunMetrics, SuperstepMetrics
 from repro.runtime.mpi_sim import MPIController
 
 __all__ = [
     "Cluster",
+    "CorruptFault",
     "CostModel",
     "COORDINATOR",
+    "CrashFault",
+    "DropFault",
+    "DuplicateFault",
+    "FaultCounters",
+    "FaultInjector",
+    "FaultPlan",
     "Message",
     "MPIController",
     "RunMetrics",
+    "StragglerFault",
     "SuperstepMetrics",
 ]

@@ -39,15 +39,27 @@ class SuperstepHandle:
         self._bytes = 0
         self._messages = 0
         self._pairs = 0
+        faults = cluster.metrics.faults
+        self._faults_base = faults.total_injected
+        self._retries_base = faults.retries
 
     @contextmanager
     def compute(self, worker: int) -> Iterator[None]:
-        """Measure a worker's (or the coordinator's) compute interval."""
+        """Measure a worker's (or the coordinator's) compute interval.
+
+        With a fault injector installed, entering the interval may raise
+        the scheduled :class:`~repro.errors.WorkerFailure`, and straggler
+        delays are charged on top of the measured time.
+        """
+        injector = self._cluster.injector
+        delay = 0.0
+        if injector is not None:
+            delay = injector.on_compute(worker, self.index, self.phase)
         start = time.perf_counter()
         try:
             yield
         finally:
-            elapsed = time.perf_counter() - start
+            elapsed = time.perf_counter() - start + delay
             self._compute[worker] = self._compute.get(worker, 0.0) + elapsed
 
     def charge(self, worker: int, seconds: float) -> None:
@@ -79,6 +91,7 @@ class SuperstepHandle:
         makespan = max(worker_times, default=0.0)
         # Coordinator work is serialized with the workers' barrier.
         makespan += self._compute.get(COORDINATOR, 0.0)
+        faults = self._cluster.metrics.faults
         metrics = SuperstepMetrics(
             index=self.index,
             phase=self.phase,
@@ -90,6 +103,8 @@ class SuperstepHandle:
                 makespan, self._bytes, self._pairs
             ),
             active_workers=len(worker_times),
+            faults_injected=faults.total_injected - self._faults_base,
+            retries=faults.retries - self._retries_base,
         )
         self._cluster.metrics.add_superstep(metrics)
         for worker, seconds in self._compute.items():
@@ -105,11 +120,17 @@ class Cluster:
         num_workers: int,
         cost_model: CostModel | None = None,
         engine_name: str = "",
+        injector=None,
     ) -> None:
         self.num_workers = num_workers
         self.cost_model = cost_model or CostModel()
-        self.mpi = MPIController(num_workers)
+        self.injector = injector
+        self.mpi = MPIController(num_workers, injector=injector)
         self.metrics = RunMetrics(engine=engine_name, num_workers=num_workers)
+        if injector is not None:
+            # One counter object end to end: the injector fires into the
+            # same FaultCounters the run's metrics expose.
+            self.metrics.faults = injector.counters
 
     @contextmanager
     def superstep(self, phase: str) -> Iterator[SuperstepHandle]:
@@ -128,3 +149,5 @@ class Cluster:
             engine=engine_name or self.metrics.engine,
             num_workers=self.num_workers,
         )
+        if self.injector is not None:
+            self.metrics.faults = self.injector.counters

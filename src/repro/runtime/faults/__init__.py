@@ -1,0 +1,34 @@
+"""Deterministic fault injection for chaos-testing the GRAPE runtime.
+
+Declare *what* goes wrong with a seed-deterministic
+:class:`~repro.runtime.faults.plan.FaultPlan` (worker crashes, message
+drop/duplication/corruption, straggler delays), hand it to
+``GrapeEngine.run(..., faults=plan)``, and the engine's supervisor plus
+the transport-integrity layer absorb the damage — or surface a typed
+error — while the metrics record every injected fault and recovery
+action. Zero overhead when no plan is installed.
+"""
+
+from repro.runtime.faults.injector import FaultInjector
+from repro.runtime.faults.plan import (
+    FAULT_KINDS,
+    CorruptFault,
+    CrashFault,
+    DropFault,
+    DuplicateFault,
+    FaultPlan,
+    FaultSpec,
+    StragglerFault,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "CorruptFault",
+    "CrashFault",
+    "DropFault",
+    "DuplicateFault",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "StragglerFault",
+]

@@ -11,6 +11,77 @@ from dataclasses import dataclass, field
 
 
 @dataclass
+class FaultCounters:
+    """Fault-injection and recovery accounting for one engine run.
+
+    All zeros when no :class:`~repro.runtime.faults.FaultPlan` is
+    installed and nothing failed — the counters exist unconditionally so
+    dashboards need no schema branch.
+    """
+
+    #: Faults fired by the injector, per class.
+    crashes_injected: int = 0
+    drops_injected: int = 0
+    duplicates_injected: int = 0
+    corruptions_injected: int = 0
+    stragglers_injected: int = 0
+    #: Simulated seconds of straggler delay charged through the cost model.
+    straggler_delay: float = 0.0
+    #: Supervisor activity.
+    retries: int = 0
+    backoff_time: float = 0.0
+    recoveries: int = 0
+    rounds_lost: int = 0
+    recovery_supersteps: int = 0
+    #: Transport-integrity layer activity.
+    duplicates_discarded: int = 0
+    corruptions_detected: int = 0
+    retransmissions: int = 0
+
+    @property
+    def total_injected(self) -> int:
+        """Faults fired across all classes."""
+        return (
+            self.crashes_injected
+            + self.drops_injected
+            + self.duplicates_injected
+            + self.corruptions_injected
+            + self.stragglers_injected
+        )
+
+    @property
+    def any(self) -> bool:
+        """Whether any fault fired or any recovery action ran."""
+        return bool(
+            self.total_injected
+            or self.retries
+            or self.recoveries
+            or self.retransmissions
+            or self.duplicates_discarded
+            or self.corruptions_detected
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """Counters as a plain dict (for JSON reports)."""
+        return {
+            "crashes_injected": self.crashes_injected,
+            "drops_injected": self.drops_injected,
+            "duplicates_injected": self.duplicates_injected,
+            "corruptions_injected": self.corruptions_injected,
+            "stragglers_injected": self.stragglers_injected,
+            "straggler_delay": self.straggler_delay,
+            "retries": self.retries,
+            "backoff_time": self.backoff_time,
+            "recoveries": self.recoveries,
+            "rounds_lost": self.rounds_lost,
+            "recovery_supersteps": self.recovery_supersteps,
+            "duplicates_discarded": self.duplicates_discarded,
+            "corruptions_detected": self.corruptions_detected,
+            "retransmissions": self.retransmissions,
+        }
+
+
+@dataclass
 class SuperstepMetrics:
     """Accounting for one BSP superstep."""
 
@@ -22,6 +93,10 @@ class SuperstepMetrics:
     messages_sent: int = 0
     simulated_time: float = 0.0
     active_workers: int = 0
+    #: Faults fired while this superstep ran (all classes).
+    faults_injected: int = 0
+    #: Supervisor retries absorbed within this superstep.
+    retries: int = 0
 
 
 @dataclass
@@ -32,6 +107,7 @@ class RunMetrics:
     num_workers: int = 0
     supersteps: list[SuperstepMetrics] = field(default_factory=list)
     worker_compute: dict[int, float] = field(default_factory=dict)
+    faults: FaultCounters = field(default_factory=FaultCounters)
 
     def add_superstep(self, step: SuperstepMetrics) -> None:
         """Append one superstep's metrics."""
@@ -101,9 +177,16 @@ class RunMetrics:
 
     def summary(self) -> str:
         """One-line human-readable summary of the run."""
-        return (
+        line = (
             f"{self.engine}: time={self.total_time:.4f}s "
             f"supersteps={self.num_supersteps} "
             f"comm={self.communication_mb:.4f}MB "
             f"msgs={self.total_messages}"
         )
+        if self.faults.any:
+            line += (
+                f" faults={self.faults.total_injected} "
+                f"retries={self.faults.retries} "
+                f"recoveries={self.faults.recoveries}"
+            )
+        return line

@@ -108,3 +108,89 @@ def test_no_checkpoints_when_fixpoint_too_fast(tmp_path):
     engine = _engine(g, workers=2)
     engine.run(SSSPProgram(), SSSPQuery(source=0), checkpoint=policy)
     assert policy.rounds_saved() == []
+
+
+def test_torn_latest_pointer_falls_back_to_newest_snapshot(tmp_path):
+    g = road_network(10, 10, seed=1, removal_prob=0.0)
+    dfs = SimulatedDFS(tmp_path)
+    policy = CheckpointPolicy(dfs, every=1, tag="torn")
+    engine = _engine(g)
+    engine.run(SSSPProgram(), SSSPQuery(source=0), checkpoint=policy)
+    saved = policy.rounds_saved()
+    assert len(saved) >= 2
+
+    # latest.json torn mid-write: not even JSON
+    dfs.put("checkpoints/torn/latest.json", b"{\"round\": 3, \"pa")
+    latest_round, state = policy.load_latest()
+    assert latest_round == saved[-1]
+    assert len(state.partials) == 4
+
+    # pointer intact but names a vanished blob: newest surviving file wins
+    dfs.delete(f"checkpoints/torn/round-{saved[-1]:06d}.pkl")
+    dfs.put_json(
+        "checkpoints/torn/latest.json",
+        {"round": saved[-1],
+         "path": f"checkpoints/torn/round-{saved[-1]:06d}.pkl"},
+    )
+    latest_round, _ = policy.load_latest()
+    assert latest_round == saved[-2]
+
+
+def test_keep_retention_prunes_old_snapshots(tmp_path):
+    g = road_network(12, 12, seed=2, removal_prob=0.0)
+    policy = CheckpointPolicy(
+        SimulatedDFS(tmp_path), every=1, tag="prune", keep=2
+    )
+    engine = _engine(g)
+    result = engine.run(SSSPProgram(), SSSPQuery(source=0), checkpoint=policy)
+    saved = policy.rounds_saved()
+    assert len(saved) == 2  # only the newest two survive
+    assert saved == [len(result.rounds) - 1, len(result.rounds)]
+    latest_round, _ = policy.load_latest()
+    assert latest_round == saved[-1]
+
+
+def test_run_incremental_checkpoints_on_same_cadence(tmp_path):
+    from repro.core.incremental import EdgeInsertion
+
+    g = road_network(12, 12, seed=3, removal_prob=0.0)
+    engine = _engine(g)
+    program = SSSPProgram()
+    first = engine.run(program, SSSPQuery(source=0), keep_state=True)
+
+    policy = CheckpointPolicy(SimulatedDFS(tmp_path), every=1, tag="inc")
+    corner = max(g.vertices())
+    shortcut = EdgeInsertion(0, corner, first.answer[corner] / 2)
+    g.add_edge(0, corner, shortcut.weight)
+    second = engine.run_incremental(
+        program, SSSPQuery(source=0), first.state, [shortcut],
+        checkpoint=policy,
+    )
+    assert second.answer[corner] == pytest.approx(first.answer[corner] / 2)
+    saved = policy.rounds_saved()
+    assert saved  # ΔG fixpoint snapshotted
+    latest_round, state = policy.load_latest()
+    assert latest_round == saved[-1]
+    assert len(state.partials) == 4
+
+
+def test_checkpointing_continues_through_recovery(tmp_path):
+    """In-run recovery keeps snapshotting the post-recovery rounds."""
+    from repro.runtime.faults import CrashFault, FaultPlan
+
+    g = road_network(12, 12, seed=2, removal_prob=0.0)
+    policy = CheckpointPolicy(SimulatedDFS(tmp_path), every=1, tag="mid")
+    engine = _engine(g)
+    plan = FaultPlan(
+        faults=(CrashFault(at_superstep=4, fatal=True),), seed=5
+    )
+    result = engine.run(
+        SSSPProgram(), SSSPQuery(source=0), checkpoint=policy, faults=plan
+    )
+    assert result.metrics.faults.recoveries == 1
+    assert result.metrics.faults.rounds_lost >= 1
+    saved = policy.rounds_saved()
+    # rounds completed after the recovery were snapshotted too: the
+    # newest checkpoint is the final round of the healed fixpoint
+    # (rewound rounds re-run under their original indices).
+    assert saved[-1] == result.rounds[-1].round_index
