@@ -61,7 +61,9 @@ class KCoreProgram(PIEProgram[KCoreQuery, Partial, dict]):
     def _export(
         self, fragment: Fragment, partial: Partial, params: UpdateParams
     ) -> None:
-        for v in fragment.inner_border:
+        # Whole-border publish is deliberate: MIN.improve drops
+        # non-improvements, so only genuine refinements are shipped.
+        for v in fragment.inner_border:  # grape-lint: disable=GRP202
             params.improve(v, partial[v])
 
     def peval(

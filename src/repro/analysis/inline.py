@@ -1,0 +1,190 @@
+"""One-level inlining of same-class helper calls before rule evaluation.
+
+grape-lint's rules are intra-procedural: a PIE method that delegates its
+border publish to ``self._publish(params)`` used to escape GRP101/GRP202
+because the offending loop lived in the helper's body. This pass closes
+that hole without building full interprocedural dataflow: before the
+rule families run, every PIE-role method body is rewritten with each
+``self.<helper>(...)`` call expanded to a copy of the helper's body,
+with the helper's formal parameters renamed to the caller's argument
+names (when the argument is a plain name — the case that matters for
+``params`` / ``fragment`` / ``changed``).
+
+Deliberate limits, matching the ROADMAP item:
+
+* **one level** — helper bodies are spliced in verbatim; calls *inside*
+  a helper are not expanded again (no recursion, terminates trivially);
+* bare-statement calls (``self._publish(...)``) are replaced in place,
+  so surrounding loop context is preserved; value-position calls
+  (``x = self._f(...)``) keep the original statement and splice the
+  helper body right after it — rules see the helper's loops and writes
+  either way;
+* ``return expr`` inside a spliced body becomes a plain expression
+  statement (the reads stay visible, control flow is not modeled).
+
+Spliced nodes keep the helper's original line numbers, so findings point
+at the offending line *in the helper* and pragma suppression keeps
+working where the code actually is.
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+
+from repro.analysis.inspector import MethodInfo, ProgramInfo, dotted_name
+
+__all__ = ["inline_helpers"]
+
+
+class _Rename(ast.NodeTransformer):
+    """Rename plain names per ``mapping`` (helper formals -> caller args)."""
+
+    def __init__(self, mapping: dict[str, str]) -> None:
+        self.mapping = mapping
+
+    def visit_Name(self, node: ast.Name) -> ast.Name:
+        new = self.mapping.get(node.id)
+        if new is not None:
+            return ast.copy_location(ast.Name(id=new, ctx=node.ctx), node)
+        return node
+
+
+class _ReturnToExpr(ast.NodeTransformer):
+    """``return expr`` -> ``expr``; bare ``return`` -> ``pass``."""
+
+    def visit_Return(self, node: ast.Return) -> ast.stmt:
+        if node.value is None:
+            return ast.copy_location(ast.Pass(), node)
+        return ast.copy_location(ast.Expr(value=node.value), node)
+
+    def visit_FunctionDef(self, node):  # don't descend into nested defs
+        return node
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+
+def _helper_call(node: ast.AST, helpers: dict[str, MethodInfo]):
+    """The ``(call, helper)`` pair if ``node`` is ``self.<helper>(...)``."""
+    if not isinstance(node, ast.Call):
+        return None
+    name = dotted_name(node.func)
+    if name is None or "." not in name:
+        return None
+    receiver, _, attr = name.rpartition(".")
+    if receiver != "self":
+        return None
+    helper = helpers.get(attr)
+    return (node, helper) if helper is not None else None
+
+
+def _formal_args(fn: ast.FunctionDef) -> list[str]:
+    args = [a.arg for a in fn.args.args]
+    if args and args[0] in ("self", "cls"):
+        args = args[1:]
+    return args
+
+
+def _expanded_body(call: ast.Call, helper: MethodInfo) -> list[ast.stmt]:
+    """A renamed copy of ``helper``'s body, ready to splice at ``call``."""
+    mapping: dict[str, str] = {}
+    formals = _formal_args(helper.node)
+    for formal, actual in zip(formals, call.args):
+        if isinstance(actual, ast.Name):
+            mapping[formal] = actual.id
+    for kw in call.keywords:
+        if kw.arg is not None and isinstance(kw.value, ast.Name):
+            mapping[kw.arg] = kw.value.id
+    body = [copy.deepcopy(stmt) for stmt in helper.node.body]
+    if (
+        body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and isinstance(body[0].value.value, str)
+    ):
+        body = body[1:]  # drop the docstring
+    renamer = _Rename(mapping)
+    cleaner = _ReturnToExpr()
+    out: list[ast.stmt] = []
+    for stmt in body:
+        stmt = renamer.visit(stmt)
+        stmt = cleaner.visit(stmt)
+        ast.fix_missing_locations(stmt)
+        out.append(stmt)
+    return out or [ast.copy_location(ast.Pass(), call)]
+
+
+def _first_helper_call(stmt: ast.stmt, helpers: dict[str, MethodInfo]):
+    """First same-class helper call anywhere under ``stmt``."""
+    for sub in ast.walk(stmt):
+        found = _helper_call(sub, helpers)
+        if found is not None:
+            return found
+    return None
+
+
+def _inline_stmts(
+    stmts: list[ast.stmt], helpers: dict[str, MethodInfo]
+) -> list[ast.stmt]:
+    """Expand helper calls through one statement list (recursing into
+    compound statements, but never into already-spliced bodies)."""
+    out: list[ast.stmt] = []
+    for stmt in stmts:
+        # Bare call statement: replace in place, preserving loop context.
+        if isinstance(stmt, ast.Expr):
+            found = _helper_call(stmt.value, helpers)
+            if found is not None:
+                out.extend(_expanded_body(*found))
+                continue
+        # Recurse into compound-statement bodies first.
+        for attr in ("body", "orelse", "finalbody"):
+            inner = getattr(stmt, attr, None)
+            if isinstance(inner, list) and inner:
+                setattr(stmt, attr, _inline_stmts(inner, helpers))
+        for handler in getattr(stmt, "handlers", []):
+            handler.body = _inline_stmts(handler.body, helpers)
+        out.append(stmt)
+        # Value-position call (assignment, condition...): splice after.
+        if not isinstance(stmt, (ast.For, ast.While, ast.If, ast.With,
+                                 ast.Try)):
+            found = _first_helper_call(stmt, helpers)
+            if found is not None:
+                out.extend(_expanded_body(*found))
+    return out
+
+
+def inline_helpers(program: ProgramInfo) -> ProgramInfo:
+    """A copy of ``program`` with helper calls expanded in role methods.
+
+    Helper methods themselves are kept as-is (rules that iterate all
+    methods still see them once); only the PIE-role methods get the
+    expanded bodies. Returns ``program`` unchanged when the class has no
+    helpers to expand.
+    """
+    helpers = {
+        name: m for name, m in program.methods.items() if m.role == "helper"
+    }
+    if not helpers:
+        return program
+    expanded = ProgramInfo(
+        name=program.name,
+        node=program.node,
+        path=program.path,
+        aggregator=program.aggregator,
+        local_base=program.local_base,
+    )
+    for name, method in program.methods.items():
+        if method.role == "helper" or not _first_helper_call(
+            method.node, helpers
+        ):
+            expanded.methods[name] = method
+            continue
+        node = copy.deepcopy(method.node)
+        node.body = _inline_stmts(node.body, helpers)
+        expanded.methods[name] = MethodInfo(
+            name=method.name,
+            node=node,
+            role=method.role,
+            bindings=dict(method.bindings),
+        )
+    return expanded

@@ -103,7 +103,9 @@ class VertexCentricAsPIE(PIEProgram):
         program = self.vertex_program
         worker = _AdapterWorker(partial.values)
         inbox, partial.inbox = partial.inbox, {}
-        for v in fragment.owned:
+        # The adapter reproduces Pregel's unbounded supersteps by design;
+        # the halted-vertex check below is its voting-to-halt shortcut.
+        for v in fragment.owned:  # grape-lint: disable=GRP201
             messages = inbox.pop(v, None)
             if messages is None and (
                 partial.halted[v] and partial.round > 0

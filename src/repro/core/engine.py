@@ -189,7 +189,12 @@ class GrapeEngine:
 
         state = None
         if keep_state:
-            state = EngineState(partials=partials, params=params)
+            state = EngineState(
+                partials=partials,
+                params=params,
+                program_name=program.name,
+                num_fragments=n,
+            )
         return GrapeResult(
             answer=answer,
             metrics=cluster.metrics,
@@ -207,6 +212,7 @@ class GrapeEngine:
         insertions,
         checkpoint=None,
         faults=None,
+        touched=None,
     ) -> GrapeResult[R]:
         """Resume a fixed point after edge insertions (ΔG).
 
@@ -220,9 +226,22 @@ class GrapeEngine:
         ``checkpoint`` and ``faults`` behave exactly as in :meth:`run`:
         long post-ΔG fixpoints snapshot on the same cadence and recover
         fatal losses in-run.
+
+        ``touched`` is the fragment-id -> insertions mapping returned by
+        a prior :func:`~repro.core.incremental.apply_insertions` of the
+        *same batch*: pass it when the insertions were already routed
+        into the fragments, e.g. by a serving layer repairing several
+        standing queries from one mutation — re-applying would duplicate
+        the edges' border bookkeeping. Left as ``None`` the engine
+        routes ``insertions`` itself.
+
+        A state produced by a different program, fragment count, or
+        aggregator raises :class:`~repro.errors.StaleStateError` up
+        front instead of failing deep inside the fixpoint.
         """
         from repro.core.incremental import apply_insertions
 
+        self._check_state(program, query, state)
         cluster = self._make_cluster(f"grape-inc[{program.name}]", faults)
         supervisor = Supervisor(self.supervision, cluster.metrics.faults)
         n = cluster.num_workers
@@ -231,7 +250,8 @@ class GrapeEngine:
         guard = FixpointGuard(max_supersteps=self.max_supersteps)
         rounds: list[RoundInfo] = []
 
-        touched = apply_insertions(self.fragmented, insertions)
+        if touched is None:
+            touched = apply_insertions(self.fragmented, insertions)
 
         # Insertions can create fresh border vertices; their update
         # parameters are declared with the spec default before programs
@@ -267,7 +287,12 @@ class GrapeEngine:
             metrics=cluster.metrics,
             rounds=rounds,
             checker=None,
-            state=EngineState(partials=partials, params=params),
+            state=EngineState(
+                partials=partials,
+                params=params,
+                program_name=program.name,
+                num_fragments=n,
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -315,12 +340,60 @@ class GrapeEngine:
             metrics=cluster.metrics,
             rounds=rounds,
             checker=None,
-            state=EngineState(partials=partials, params=params),
+            state=EngineState(
+                partials=partials,
+                params=params,
+                program_name=program.name,
+                num_fragments=cluster.num_workers,
+            ),
         )
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _check_state(self, program: PIEProgram, query, state) -> None:
+        """Reject a resume state that cannot belong to this run.
+
+        Checks provenance (program name, fragment count) when the state
+        records it, and structural fit (store count, aggregator) always —
+        states unpickled from pre-provenance checkpoints carry the
+        defaults and are validated structurally only.
+        """
+        from repro.errors import StaleStateError
+
+        if not isinstance(state, EngineState):
+            raise StaleStateError(
+                "run_incremental needs the EngineState from a prior "
+                f"run(..., keep_state=True); got {type(state).__name__}"
+            )
+        n = self.fragmented.num_fragments
+        if state.program_name and state.program_name != program.name:
+            raise StaleStateError(
+                f"stale EngineState: produced by program "
+                f"{state.program_name!r}, but resuming {program.name!r} — "
+                "rerun with keep_state=True under the current program"
+            )
+        if state.num_fragments and state.num_fragments != n:
+            raise StaleStateError(
+                f"stale EngineState: produced over {state.num_fragments} "
+                f"fragments, but this engine has {n} — the graph was "
+                "repartitioned; rerun with keep_state=True"
+            )
+        if len(state.params) != n or len(state.partials) != n:
+            raise StaleStateError(
+                f"stale EngineState: carries {len(state.params)} parameter "
+                f"stores / {len(state.partials)} partials for "
+                f"{n} fragments"
+            )
+        spec = program.param_spec(query)
+        for store in state.params:
+            if store.aggregator.name != spec.aggregator.name:
+                raise StaleStateError(
+                    "stale EngineState: parameter store aggregator "
+                    f"{store.aggregator.name!r} does not match the "
+                    f"program's declared {spec.aggregator.name!r}"
+                )
+
     def _make_cluster(self, engine_name: str, faults) -> Cluster:
         """A cluster for one run, with the fault plan's injector if any."""
         injector = faults.injector() if faults is not None else None
@@ -382,7 +455,13 @@ class GrapeEngine:
             )
             if checkpoint is not None and guard.rounds % checkpoint.every == 0:
                 checkpoint.save(
-                    guard.rounds, EngineState(partials=partials, params=params)
+                    guard.rounds,
+                    EngineState(
+                        partials=partials,
+                        params=params,
+                        program_name=program.name,
+                        num_fragments=cluster.num_workers,
+                    ),
                 )
 
     def _recover(

@@ -49,10 +49,21 @@ class EdgeInsertion:
 
 @dataclass
 class EngineState:
-    """Resumable engine state captured by ``run(..., keep_state=True)``."""
+    """Resumable engine state captured by ``run(..., keep_state=True)``.
+
+    ``program_name`` and ``num_fragments`` record which program and
+    fragmentation produced the state so ``run_incremental`` can reject a
+    stale or foreign state with a :class:`~repro.errors.StaleStateError`
+    instead of corrupting the fixpoint. Both default to "unknown" so
+    states pickled by older checkpoints still load.
+    """
 
     partials: list = field(default_factory=list)
     params: list = field(default_factory=list)
+    #: ``PIEProgram.name`` of the producing program ("" if unknown).
+    program_name: str = ""
+    #: Fragment count of the producing engine (0 if unknown).
+    num_fragments: int = 0
 
 
 def apply_insertions(

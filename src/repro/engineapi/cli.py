@@ -5,6 +5,7 @@ Examples::
     grape run --graph road:40x40 --query sssp --source 0 --workers 8
     grape run --graph social:2000 --query cc --partition multilevel
     grape partitions --graph power:5000 --workers 16
+    grape serve --trace benchmarks/traces/service_workload.json
     grape chaos --graph road:20x20 --query sssp --source 0
     grape lint examples/ src/repro/algorithms/
     grape classes
@@ -24,31 +25,19 @@ from repro.engineapi.report import format_report
 from repro.engineapi.session import Session
 from repro.errors import GrapeError
 from repro.graph.digraph import Graph
-from repro.graph.generators import (
-    labeled_social,
-    power_law,
-    road_network,
-)
+from repro.graph.generators import graph_from_spec
 from repro.partition.base import evaluate_partition
 from repro.partition.registry import available_strategies, get_partitioner
 
 
 def _make_graph(spec: str) -> Graph:
     """Parse ``kind:params`` graph specs used by the CLI."""
-    kind, _, arg = spec.partition(":")
-    if kind == "road":
-        rows, _, cols = arg.partition("x")
-        return road_network(int(rows), int(cols or rows))
-    if kind == "power":
-        return power_law(int(arg or 1000))
-    if kind == "social":
-        return labeled_social(int(arg or 500))
-    raise GrapeError(
-        f"unknown graph spec {spec!r}; use road:RxC, power:N or social:N"
-    )
+    return graph_from_spec(spec)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    import json
+
     graph = _make_graph(args.graph)
     session = Session(
         graph,
@@ -67,7 +56,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
         program_kwargs["total_vertices"] = graph.num_vertices
     program = get_program(args.query, **program_kwargs)
     result = session.run(program, query)
-    print(format_report(result, title=f"{args.query} on {args.graph}"))
+    if args.json:
+        payload = {
+            "query": args.query,
+            "graph": args.graph,
+            "metrics": result.metrics.as_dict(),
+            "rounds": [
+                {
+                    "round_index": r.round_index,
+                    "params_shipped": r.params_shipped,
+                    "params_applied": r.params_applied,
+                    "active_workers": r.active_workers,
+                }
+                for r in result.rounds
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(format_report(result, title=f"{args.query} on {args.graph}"))
     return 0
 
 
@@ -218,6 +224,25 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.survived_all else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Replay a JSON workload trace against a GrapeService."""
+    from repro.service.trace import load_trace, replay_trace
+
+    trace = load_trace(args.trace)
+    verify = False if args.no_verify else None
+    _, report = replay_trace(
+        trace,
+        graph_spec=args.graph,
+        max_queries=args.max_queries,
+        verify=verify,
+    )
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.format())
+    return 0 if report.survived else 1
+
+
 def _cmd_classes(args: argparse.Namespace) -> int:
     print("registered PIE programs:", ", ".join(available_programs()))
     print("query classes:", ", ".join(query_classes()))
@@ -241,7 +266,34 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--source", type=int, default=None)
     run.add_argument("--keywords", default=None)
     run.add_argument("--check-monotonic", action="store_true")
+    run.add_argument(
+        "--json", action="store_true",
+        help="emit run metrics as JSON (RunMetrics.as_dict schema)",
+    )
     run.set_defaults(func=_cmd_run)
+
+    serve = sub.add_parser(
+        "serve", help="replay a JSON workload trace against a query service"
+    )
+    serve.add_argument(
+        "--trace", required=True, metavar="FILE.json",
+        help="workload trace (queries + updates); see repro.service.trace",
+    )
+    serve.add_argument(
+        "--graph", default=None,
+        help="override the trace's graph spec (road:RxC|power:N|social:N)",
+    )
+    serve.add_argument(
+        "--max-queries", type=int, default=None,
+        help="stop after this many trace queries (smoke-test knob)",
+    )
+    serve.add_argument(
+        "--no-verify", action="store_true",
+        help="skip auditing standing answers against full recomputation",
+    )
+    serve.add_argument("--json", action="store_true",
+                       help="machine-readable service report")
+    serve.set_defaults(func=_cmd_serve)
 
     parts = sub.add_parser(
         "partitions", help="compare partition strategies on a graph"

@@ -42,6 +42,17 @@ class AnalysisError(ProgramError):
     """
 
 
+class StaleStateError(ProgramError):
+    """An :class:`~repro.core.incremental.EngineState` does not fit.
+
+    Raised by :meth:`~repro.core.engine.GrapeEngine.run_incremental` when
+    the state handed to it was produced by a different program, a
+    different fragmentation (fragment count mismatch), or an
+    incompatible aggregator — resuming from it would corrupt the
+    fixpoint far from the actual mistake.
+    """
+
+
 class MonotonicityError(ProgramError):
     """An update parameter moved against its declared partial order.
 
@@ -103,6 +114,29 @@ class StorageError(GrapeError):
 
 class QueryError(GrapeError):
     """Malformed query or unknown query class submitted to the engine."""
+
+
+class ServiceError(GrapeError):
+    """The query-serving layer (:mod:`repro.service`) rejected a request."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The admission queue is full; the request was shed, not queued.
+
+    Backpressure made typed: clients catch this and retry later instead
+    of silently growing an unbounded queue.
+
+    Attributes:
+        queue_depth: pending requests at the moment of rejection.
+        capacity: the admission queue's configured bound.
+    """
+
+    def __init__(
+        self, message: str, queue_depth: int = 0, capacity: int = 0
+    ) -> None:
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.capacity = capacity
 
 
 class RegistryError(GrapeError):

@@ -376,3 +376,25 @@ def bipartite_ratings(
             rating = max(0.5, min(max_rating, rating))
             g.add_edge(u, n_users + i, weight=round(rating * 2) / 2, label="rate")
     return g
+
+
+def graph_from_spec(spec: str) -> Graph:
+    """Build a generator graph from a compact ``kind:params`` spec.
+
+    The shared vocabulary of the CLI and workload traces:
+    ``road:RxC`` (road network grid), ``power:N`` (power law),
+    ``social:N`` (labeled social graph).
+    """
+    from repro.errors import GrapeError
+
+    kind, _, arg = spec.partition(":")
+    if kind == "road":
+        rows, _, cols = arg.partition("x")
+        return road_network(int(rows), int(cols or rows))
+    if kind == "power":
+        return power_law(int(arg or 1000))
+    if kind == "social":
+        return labeled_social(int(arg or 500))
+    raise GrapeError(
+        f"unknown graph spec {spec!r}; use road:RxC, power:N or social:N"
+    )

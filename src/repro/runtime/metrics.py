@@ -175,6 +175,44 @@ class RunMetrics:
             return 1.0
         return max(values) / mean
 
+    def as_dict(self, include_supersteps: bool = False) -> dict:
+        """Metrics as a plain dict — the shared JSON schema of
+        ``grape run --json`` and the service report's engine totals.
+
+        ``include_supersteps`` adds the per-superstep trace (omitted by
+        default: it grows with the fixpoint length).
+        """
+        out: dict = {
+            "engine": self.engine,
+            "num_workers": self.num_workers,
+            "num_supersteps": self.num_supersteps,
+            "total_time": self.total_time,
+            "total_compute": self.total_compute,
+            "total_bytes": self.total_bytes,
+            "total_messages": self.total_messages,
+            "communication_mb": self.communication_mb,
+            "load_imbalance": self.load_imbalance(),
+            "phase_breakdown": self.phase_breakdown(),
+            "faults": self.faults.as_dict(),
+        }
+        if include_supersteps:
+            out["supersteps"] = [
+                {
+                    "index": s.index,
+                    "phase": s.phase,
+                    "compute_makespan": s.compute_makespan,
+                    "compute_total": s.compute_total,
+                    "bytes_sent": s.bytes_sent,
+                    "messages_sent": s.messages_sent,
+                    "simulated_time": s.simulated_time,
+                    "active_workers": s.active_workers,
+                    "faults_injected": s.faults_injected,
+                    "retries": s.retries,
+                }
+                for s in self.supersteps
+            ]
+        return out
+
     def summary(self) -> str:
         """One-line human-readable summary of the run."""
         line = (

@@ -1,0 +1,509 @@
+"""GrapeService: many logical clients, one versioned graph, warm answers.
+
+The serving layer the ROADMAP's "heavy traffic" north star needs in
+front of :class:`~repro.core.engine.GrapeEngine`:
+
+* every query goes through a **bounded admission queue** and a
+  priority scheduler with ``concurrency`` simulated worker lanes —
+  overload sheds requests with a typed error instead of queueing
+  without bound;
+* the graph lives behind a **monotonically versioned handle**; repeated
+  queries at an unchanged version are answered from a
+  :class:`~repro.service.cache.ResultCache` in O(1);
+* **standing queries** registered once are kept warm across mutations:
+  ``apply_updates`` routes an edge-insertion batch into the fragments
+  *once*, bumps the version, invalidates the cache, and repairs every
+  registered answer with ``run_incremental`` — the paper's bounded
+  IncEval surfaced as a serving feature — then re-seeds the cache at
+  the new version with the repaired answers.
+
+Consistency model: queries observe the graph version they were admitted
+under; ``apply_updates`` therefore drains the queue before mutating (the
+drained results ride along in its outcome). All timing is simulated and
+deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.core.incremental import EdgeInsertion, apply_insertions
+from repro.engineapi.query import build_query
+from repro.engineapi.registry import get_program
+from repro.engineapi.session import Session
+from repro.errors import ServiceError
+from repro.service.cache import (
+    CacheEntry,
+    ResultCache,
+    Uncacheable,
+    cache_key,
+)
+from repro.service.metrics import (
+    ClassStats,
+    ServiceReport,
+    StandingStats,
+    UpdateStats,
+    run_cost,
+)
+from repro.service.scheduler import (
+    DEFAULT_PRIORITY,
+    AdmissionQueue,
+    LaneClock,
+    QueryRequest,
+)
+
+
+def canonical_answer_bytes(answer: object) -> bytes:
+    """Deterministic byte form of an assembled answer (for comparison)."""
+    return json.dumps(answer, sort_keys=True, default=repr).encode()
+
+
+def _work_mark(program) -> int | None:
+    """Start index into the program's work log, if it keeps one."""
+    log = getattr(program, "work_log", None)
+    return len(log) if log is not None else None
+
+
+def _work_since(program, mark: int | None) -> int | None:
+    """Settled-vertex work recorded since ``mark`` (None = no probe)."""
+    if mark is None:
+        return None
+    return sum(settled for _, _, settled in program.work_log[mark:])
+
+
+@dataclass
+class ServedResult:
+    """Outcome of one served query."""
+
+    seq: int
+    query_class: str
+    answer: object
+    from_cache: bool
+    #: Simulated seconds from admission to completion.
+    latency: float
+    #: Graph version the answer is valid at.
+    version: int
+    #: Simulated run cost (cache-hit cost for hits).
+    cost: float
+
+
+@dataclass
+class StandingQuery:
+    """One registered query kept warm across graph mutations."""
+
+    name: str
+    query_class: str
+    params: dict
+    query: object
+    program: object
+    state: object
+    answer: object
+    stats: StandingStats
+
+
+@dataclass
+class UpdateOutcome:
+    """What one ``apply_updates`` batch did."""
+
+    version: int
+    edges: int
+    #: Cache entries dropped because their version is now stale.
+    invalidated: int
+    #: Results of queries drained before the mutation (seq -> result).
+    drained: dict[int, ServedResult] = field(default_factory=dict)
+    #: Standing-query name -> repaired answer.
+    repaired: dict[str, object] = field(default_factory=dict)
+    #: Standing-query name -> verified-identical flag (only when
+    #: ``verify=True``).
+    verified: dict[str, bool] = field(default_factory=dict)
+
+
+class GrapeService:
+    """Concurrent query serving over one session's fragmented graph.
+
+    Args:
+        session: the graph + partition + cluster to serve from.
+        max_pending: admission-queue bound (backpressure beyond it).
+        concurrency: simulated worker lanes queries dispatch onto.
+        cache_capacity: result-cache entry bound (LRU beyond it).
+        cache_ttl: result lifetime in simulated seconds (None = no TTL).
+        hit_cost: simulated seconds charged for a cache hit.
+        program_kwargs: per-query-class constructor kwargs (e.g.
+            ``{"pagerank": {"total_vertices": n}}``); pagerank's
+            ``total_vertices`` is defaulted from the graph automatically.
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        max_pending: int = 64,
+        concurrency: int = 2,
+        cache_capacity: int = 256,
+        cache_ttl: float | None = None,
+        hit_cost: float = 1e-4,
+        program_kwargs: dict[str, dict] | None = None,
+    ) -> None:
+        self.session = session
+        self._engine = session.engine()
+        self._queue = AdmissionQueue(capacity=max_pending)
+        self._lanes = LaneClock(concurrency=concurrency)
+        self._cache = ResultCache(capacity=cache_capacity, ttl=cache_ttl)
+        self._hit_cost = hit_cost
+        self._program_kwargs = dict(program_kwargs or {})
+        self._version = 1
+        self._clock = 0.0
+        self._pending_queries: dict[int, object] = {}
+        self._standing: dict[str, StandingQuery] = {}
+        self._classes: dict[str, ClassStats] = {}
+        self._updates = UpdateStats()
+
+    # ------------------------------------------------------------------
+    # Versioned handle
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Current graph version (bumped by every update batch)."""
+        return self._version
+
+    @property
+    def clock(self) -> float:
+        """Simulated service time."""
+        return self._clock
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently pending admission."""
+        return self._queue.depth
+
+    # ------------------------------------------------------------------
+    # Query path
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query_class: str,
+        params: dict | None = None,
+        client: str = "anon",
+        priority: int = DEFAULT_PRIORITY,
+    ) -> int:
+        """Admit one query; returns its ticket (sequence number).
+
+        Raises :class:`~repro.errors.ServiceOverloadedError` when the
+        admission queue is full and
+        :class:`~repro.errors.QueryError` when the parameters don't
+        build a valid query of ``query_class``.
+        """
+        params = dict(params or {})
+        query = build_query(query_class, **params)  # validate up front
+        stats = self._class_stats(query_class)
+        cacheable = True
+        try:
+            cache_key(self._version, query_class, params)
+        except Uncacheable:
+            cacheable = False
+            self._cache.stats.uncacheable += 1
+        request = QueryRequest(
+            seq=self._queue.next_seq(),
+            query_class=query_class,
+            params=params,
+            client=client,
+            priority=priority,
+            submit_time=self._clock,
+            cacheable=cacheable,
+        )
+        try:
+            self._queue.admit(request)
+        except ServiceError:
+            stats.rejected += 1
+            raise
+        stats.submitted += 1
+        self._pending_queries[request.seq] = query
+        return request.seq
+
+    def drain(self) -> dict[int, ServedResult]:
+        """Dispatch every pending request; returns ticket -> result.
+
+        Requests run in ``(priority, admission order)`` on the earliest
+        free simulated lane; the service clock advances to the point
+        where every lane is idle again.
+        """
+        results: dict[int, ServedResult] = {}
+        for request in self._queue.take_all():
+            query = self._pending_queries.pop(request.seq)
+            lane, start = self._lanes.start(request.submit_time)
+            answer, cost, from_cache = self._execute(request, query)
+            finish = start + cost
+            self._lanes.occupy(lane, finish)
+            stats = self._class_stats(request.query_class)
+            stats.completed += 1
+            stats.latencies.append(finish - request.submit_time)
+            if from_cache:
+                stats.cache_hits += 1
+            results[request.seq] = ServedResult(
+                seq=request.seq,
+                query_class=request.query_class,
+                answer=answer,
+                from_cache=from_cache,
+                latency=finish - request.submit_time,
+                version=self._version,
+                cost=cost,
+            )
+        self._clock = max(self._clock, self._lanes.horizon)
+        return results
+
+    def query(
+        self,
+        query_class: str,
+        params: dict | None = None,
+        client: str = "anon",
+        priority: int = DEFAULT_PRIORITY,
+    ) -> ServedResult:
+        """Submit one query and drain immediately (convenience path)."""
+        seq = self.submit(
+            query_class, params, client=client, priority=priority
+        )
+        return self.drain()[seq]
+
+    def _execute(
+        self, request: QueryRequest, query: object
+    ) -> tuple[object, float, bool]:
+        """(answer, simulated cost, from_cache) for one dispatch."""
+        key = None
+        if request.cacheable:
+            key = cache_key(self._version, request.query_class, request.params)
+            entry = self._cache.get(key, now=self._clock)
+            if entry is not None:
+                return entry.answer, self._hit_cost, True
+        program = self._program(request.query_class)
+        result = self._engine.run(program, query)
+        cost = run_cost(result.metrics)
+        self._class_stats(request.query_class).record_run(result.metrics)
+        if key is not None:
+            self._cache.put(
+                key,
+                CacheEntry(
+                    answer=result.answer,
+                    version=self._version,
+                    query_class=request.query_class,
+                    stored_at=self._clock,
+                    cost=cost,
+                ),
+            )
+        return result.answer, cost, False
+
+    # ------------------------------------------------------------------
+    # Standing queries
+    # ------------------------------------------------------------------
+    def register_standing(
+        self,
+        name: str,
+        query_class: str,
+        params: dict | None = None,
+    ) -> object:
+        """Register a query the service keeps warm across mutations.
+
+        Runs it cold once with ``keep_state=True`` and returns the
+        answer; every later ``apply_updates`` batch repairs it through
+        ``run_incremental``. The program must implement
+        ``on_graph_update`` (sssp, bfs and cc do).
+        """
+        if name in self._standing:
+            raise ServiceError(f"standing query {name!r} already registered")
+        params = dict(params or {})
+        query = build_query(query_class, **params)
+        program = self._program(query_class)
+        from repro.core.pie import PIEProgram
+
+        if type(program).on_graph_update is PIEProgram.on_graph_update:
+            raise ServiceError(
+                f"cannot register standing query {name!r}: program "
+                f"{query_class!r} does not implement on_graph_update, so "
+                "its answer cannot be repaired incrementally"
+            )
+        mark = _work_mark(program)
+        result = self._engine.run(program, query, keep_state=True)
+        lane, start = self._lanes.start(self._clock)
+        self._lanes.occupy(lane, start + run_cost(result.metrics))
+        self._clock = max(self._clock, self._lanes.horizon)
+        stats = StandingStats(
+            name=name,
+            query_class=query_class,
+            cold_work=_work_since(program, mark),
+        )
+        self._standing[name] = StandingQuery(
+            name=name,
+            query_class=query_class,
+            params=params,
+            query=query,
+            program=program,
+            state=result.state,
+            answer=result.answer,
+            stats=stats,
+        )
+        self._seed_cache(self._standing[name], run_cost(result.metrics))
+        return result.answer
+
+    def standing_answer(self, name: str) -> object:
+        """The current (maintained) answer of a standing query."""
+        try:
+            return self._standing[name].answer
+        except KeyError:
+            raise ServiceError(
+                f"unknown standing query {name!r}; registered: "
+                f"{sorted(self._standing)}"
+            ) from None
+
+    def standing_queries(self) -> list[str]:
+        """Names of all registered standing queries."""
+        return sorted(self._standing)
+
+    def _seed_cache(self, standing: StandingQuery, cost: float) -> None:
+        """Warm the cache at the current version with a standing answer."""
+        try:
+            key = cache_key(
+                self._version, standing.query_class, standing.params
+            )
+        except Uncacheable:
+            return
+        self._cache.put(
+            key,
+            CacheEntry(
+                answer=standing.answer,
+                version=self._version,
+                query_class=standing.query_class,
+                stored_at=self._clock,
+                cost=cost,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Mutation path
+    # ------------------------------------------------------------------
+    def apply_updates(
+        self, edges, verify: bool = False
+    ) -> UpdateOutcome:
+        """Apply one batch of edge insertions; repair standing answers.
+
+        ``edges`` is a sequence of :class:`EdgeInsertion` or
+        ``(src, dst[, weight[, label]])`` tuples. The batch is routed
+        into the fragments exactly once; every standing query is then
+        repaired via ``run_incremental`` on the shared routing. With
+        ``verify=True`` each repaired answer is audited against a fresh
+        full recomputation (byte-identical or the report flags a
+        mismatch) — the audit runs off the service clock.
+        """
+        insertions = [self._as_insertion(e) for e in edges]
+        drained = self.drain()  # pending queries observe their version
+        for ins in insertions:
+            self.session.graph.add_edge(ins.src, ins.dst, ins.weight,
+                                        ins.label)
+        touched = apply_insertions(self.session.fragmented, insertions)
+        self._version += 1
+        invalidated = self._cache.invalidate_before(self._version)
+        outcome = UpdateOutcome(
+            version=self._version,
+            edges=len(insertions),
+            invalidated=invalidated,
+            drained=drained,
+        )
+        for name in sorted(self._standing):
+            standing = self._standing[name]
+            mark = _work_mark(standing.program)
+            result = self._engine.run_incremental(
+                standing.program,
+                standing.query,
+                standing.state,
+                insertions,
+                touched=touched,
+            )
+            standing.state = result.state
+            standing.answer = result.answer
+            stats = standing.stats
+            stats.repairs += 1
+            work = _work_since(standing.program, mark)
+            if work is not None:
+                stats.incremental_work += work
+            repair_cost = run_cost(result.metrics)
+            stats.incremental_time += repair_cost
+            self._clock += repair_cost
+            self._seed_cache(standing, repair_cost)
+            outcome.repaired[name] = result.answer
+            if verify:
+                outcome.verified[name] = self._verify_standing(standing)
+        self._updates.batches += 1
+        self._updates.edges += len(insertions)
+        return outcome
+
+    def _verify_standing(self, standing: StandingQuery) -> bool:
+        """Audit one standing answer against a fresh full run."""
+        program = self._program(standing.query_class)
+        mark = _work_mark(program)
+        full = self._engine.run(program, standing.query)
+        stats = standing.stats
+        stats.verified_batches += 1
+        work = _work_since(program, mark)
+        if work is not None:
+            stats.full_work += work
+        stats.full_time += run_cost(full.metrics)
+        identical = canonical_answer_bytes(
+            standing.answer
+        ) == canonical_answer_bytes(full.answer)
+        if not identical:
+            stats.mismatches += 1
+        return identical
+
+    @staticmethod
+    def _as_insertion(edge) -> EdgeInsertion:
+        if isinstance(edge, EdgeInsertion):
+            return edge
+        src, dst, *rest = edge
+        weight = float(rest[0]) if len(rest) > 0 and rest[0] is not None \
+            else 1.0
+        label = rest[1] if len(rest) > 1 else None
+        return EdgeInsertion(src=src, dst=dst, weight=weight, label=label)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self) -> ServiceReport:
+        """Snapshot of the service's lifetime metrics."""
+        cache = self._cache.stats.as_dict()
+        cache["size"] = len(self._cache)
+        cache["capacity"] = self._cache.capacity
+        cache["ttl"] = self._cache.ttl
+        return ServiceReport(
+            graph_version=self._version,
+            simulated_time=self._clock,
+            num_workers=self.session.num_workers,
+            queue={
+                "capacity": self._queue.capacity,
+                "concurrency": self._lanes.concurrency,
+                "depth": self._queue.depth,
+                "max_depth": self._queue.max_depth,
+                "rejected": self._queue.rejected,
+            },
+            cache=cache,
+            classes={
+                name: stats.as_dict()
+                for name, stats in sorted(self._classes.items())
+            },
+            standing=[
+                self._standing[name].stats.as_dict()
+                for name in sorted(self._standing)
+            ],
+            updates=self._updates.as_dict(),
+        )
+
+    # ------------------------------------------------------------------
+    def _class_stats(self, query_class: str) -> ClassStats:
+        if query_class not in self._classes:
+            self._classes[query_class] = ClassStats()
+        return self._classes[query_class]
+
+    def _program(self, query_class: str):
+        kwargs = dict(self._program_kwargs.get(query_class, {}))
+        if query_class == "pagerank":
+            kwargs.setdefault(
+                "total_vertices", self.session.graph.num_vertices
+            )
+        return get_program(query_class, **kwargs)

@@ -1,0 +1,31 @@
+"""Fixture: GRP101 via a helper — the max() publish hides one call away."""
+
+from repro.core.aggregators import MIN
+from repro.core.pie import ParamSpec, PIEProgram
+
+
+class HelperMaxUnderMinProgram(PIEProgram):
+    name = "fixture-grp101-helper"
+
+    def param_spec(self, query):
+        return ParamSpec(aggregator=MIN, default=None)
+
+    def _publish(self, fragment, dist, params):
+        for v in fragment.border:
+            params.improve(v, max(dist.get(v, 0), 1))  # contradicts MIN
+
+    def peval(self, fragment, query, params):
+        dist = {}
+        self._publish(fragment, dist, params)
+        return dist
+
+    def inceval(self, fragment, query, partial, params, changed):
+        for v in changed:
+            params.improve(v, partial.get(v, 0))
+        return partial
+
+    def assemble(self, query, partials):
+        out = {}
+        for partial in partials:
+            out.update(partial)
+        return out

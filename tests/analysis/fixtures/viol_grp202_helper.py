@@ -1,0 +1,32 @@
+"""Fixture: GRP202 via a helper — whole-border republish behind a call."""
+
+from repro.core.aggregators import MIN
+from repro.core.pie import ParamSpec, PIEProgram
+
+
+class HelperBorderRepublishProgram(PIEProgram):
+    name = "fixture-grp202-helper"
+
+    def param_spec(self, query):
+        return ParamSpec(aggregator=MIN, default=None)
+
+    def _export(self, fragment, partial, params):
+        for v in fragment.border:  # O(|border|) regardless of |M_i|
+            params.improve(v, partial.get(v, 0))
+
+    def peval(self, fragment, query, params):
+        dist = {}
+        self._export(fragment, dist, params)
+        return dist
+
+    def inceval(self, fragment, query, partial, params, changed):
+        seeds = {v: params.get(v) for v in changed}
+        partial.update(seeds)
+        self._export(fragment, partial, params)
+        return partial
+
+    def assemble(self, query, partials):
+        out = {}
+        for partial in partials:
+            out.update(partial)
+        return out

@@ -14,9 +14,11 @@ FIXTURES = Path(__file__).parent / "fixtures"
 
 EXPECTED = {
     "viol_grp101.py": "GRP101",
+    "viol_grp101_helper.py": "GRP101",
     "viol_grp102.py": "GRP102",
     "viol_grp201.py": "GRP201",
     "viol_grp202.py": "GRP202",
+    "viol_grp202_helper.py": "GRP202",
     "viol_grp203.py": "GRP203",
     "viol_grp301.py": "GRP301",
     "viol_grp302.py": "GRP302",
@@ -117,6 +119,72 @@ def test_aggregator_resolves_through_local_inheritance() -> None:
     )
     findings = active(analyze_source(source))
     assert [(f.program, f.code) for f in findings] == [("Variant", "GRP102")]
+
+
+def test_helper_finding_reported_once_at_helper_line() -> None:
+    # The defect is visible both in the helper itself and through the
+    # inlined copy in peval; dedup must collapse them onto the helper's
+    # own line.
+    path = FIXTURES / "viol_grp101_helper.py"
+    findings = active(analyze_path(str(path)))
+    assert len(findings) == 1
+    source_line = path.read_text().splitlines()[findings[0].line - 1]
+    assert "max(" in source_line  # points into _publish, not at the call
+
+
+def test_pragma_on_helper_line_suppresses_inlined_finding() -> None:
+    source = (
+        "from repro.core.aggregators import MIN\n"
+        "from repro.core.pie import ParamSpec, PIEProgram\n"
+        "class HelperProgram(PIEProgram):\n"
+        "    def param_spec(self, query):\n"
+        "        return ParamSpec(aggregator=MIN, default=None)\n"
+        "    def _publish(self, fragment, partial, params):\n"
+        "        for v in fragment.border:\n"
+        "            params.improve(v, max(partial.get(v, 0), 1))"
+        "  # grape-lint: disable=GRP101\n"
+        "    def peval(self, fragment, query, params):\n"
+        "        partial = {}\n"
+        "        self._publish(fragment, partial, params)\n"
+        "        return partial\n"
+        "    def inceval(self, fragment, query, partial, params, changed):\n"
+        "        return partial\n"
+        "    def assemble(self, query, partials):\n"
+        "        return partials\n"
+    )
+    findings = analyze_source(source)
+    assert [f.code for f in findings] == ["GRP101"]
+    assert findings[0].suppressed
+    assert active(findings) == []
+
+
+def test_inlining_is_one_level_only() -> None:
+    # The violation sits two calls deep; one-level expansion must not
+    # reach it through the intermediate helper.
+    source = (
+        "from repro.core.aggregators import MIN\n"
+        "from repro.core.pie import ParamSpec, PIEProgram\n"
+        "class DeepProgram(PIEProgram):\n"
+        "    def param_spec(self, query):\n"
+        "        return ParamSpec(aggregator=MIN, default=None)\n"
+        "    def _inner(self, fragment, partial, params):\n"
+        "        for v in fragment.border:\n"
+        "            params.improve(v, max(partial.get(v, 0), 1))\n"
+        "    def _outer(self, fragment, partial, params):\n"
+        "        self._inner(fragment, partial, params)\n"
+        "    def peval(self, fragment, query, params):\n"
+        "        partial = {}\n"
+        "        self._outer(fragment, partial, params)\n"
+        "        return partial\n"
+        "    def inceval(self, fragment, query, partial, params, changed):\n"
+        "        return partial\n"
+        "    def assemble(self, query, partials):\n"
+        "        return partials\n"
+    )
+    # _inner is still checked directly as a method, so the defect is not
+    # lost — but no finding is attributed to peval through two levels.
+    findings = active(analyze_source(source))
+    assert {f.method for f in findings} <= {"_inner"}
 
 
 def test_syntax_error_raises_analysis_error() -> None:

@@ -213,6 +213,54 @@ def test_incremental_with_direct_routing():
         )
 
 
+def test_incremental_rejects_non_engine_state():
+    from repro.errors import StaleStateError
+
+    g = road_network(5, 5, seed=2, removal_prob=0.0)
+    engine = _engine(g)
+    with pytest.raises(StaleStateError, match="keep_state=True"):
+        engine.run_incremental(
+            SSSPProgram(), SSSPQuery(source=0), {"partials": []},
+            [EdgeInsertion(0, 6, 0.5)],
+        )
+
+
+def test_incremental_rejects_state_from_other_program():
+    from repro.errors import StaleStateError
+
+    g = road_network(5, 5, seed=2, removal_prob=0.0)
+    engine = _engine(g)
+    first = engine.run(SSSPProgram(), SSSPQuery(source=0), keep_state=True)
+    with pytest.raises(StaleStateError, match="produced by program 'sssp'"):
+        engine.run_incremental(
+            BFSProgram(), BFSQuery(source=0), first.state,
+            [EdgeInsertion(0, 6, 0.5)],
+        )
+
+
+def test_incremental_rejects_state_after_repartition():
+    from repro.errors import StaleStateError
+
+    g = road_network(5, 5, seed=2, removal_prob=0.0)
+    first = _engine(g, workers=4).run(
+        SSSPProgram(), SSSPQuery(source=0), keep_state=True
+    )
+    smaller = _engine(g, workers=2)
+    with pytest.raises(StaleStateError, match="repartitioned"):
+        smaller.run_incremental(
+            SSSPProgram(), SSSPQuery(source=0), first.state,
+            [EdgeInsertion(0, 6, 0.5)],
+        )
+
+
+def test_state_records_provenance():
+    g = road_network(5, 5, seed=2, removal_prob=0.0)
+    engine = _engine(g, workers=3)
+    result = engine.run(SSSPProgram(), SSSPQuery(source=0), keep_state=True)
+    assert result.state.program_name == "sssp"
+    assert result.state.num_fragments == 3
+
+
 def test_state_absent_by_default():
     g = Graph()
     g.add_vertex(0)

@@ -152,6 +152,26 @@ def test_cli_run_sssp(capsys):
     assert "phase breakdown" in capsys.readouterr().out
 
 
+def test_cli_run_json(capsys):
+    import json
+
+    rc = main([
+        "run", "--graph", "road:5x5", "--query", "sssp",
+        "--source", "0", "--workers", "2", "--json",
+    ])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["query"] == "sssp"
+    assert payload["graph"] == "road:5x5"
+    metrics = payload["metrics"]
+    assert metrics["engine"].startswith("grape")
+    assert metrics["num_workers"] == 2
+    assert metrics["num_supersteps"] > 0
+    assert set(metrics["phase_breakdown"]) >= {"peval", "inceval"}
+    assert payload["rounds"]
+    assert {"round_index", "params_shipped"} <= set(payload["rounds"][0])
+
+
 def test_cli_run_pagerank(capsys):
     rc = main([
         "run", "--graph", "power:100", "--query", "pagerank",

@@ -15,6 +15,7 @@ CASES = {
     "plug_and_play_custom.py": "matches the sequential algorithm",
     "partition_playground.py": "Takeaway",
     "dynamic_updates.py": "0 mismatches",
+    "query_service.py": "standing answers identical to full recomputation",
     "fault_tolerance.py": "0 mismatches",
 }
 

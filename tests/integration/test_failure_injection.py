@@ -125,8 +125,9 @@ def test_incremental_on_missing_state_fails_cleanly():
     program = SSSPProgram()
     result = engine.run(program, SSSPQuery(source=0))  # no keep_state
     from repro.core.incremental import EdgeInsertion
+    from repro.errors import StaleStateError
 
-    with pytest.raises(AttributeError):
+    with pytest.raises(StaleStateError, match="keep_state=True"):
         engine.run_incremental(
             program, SSSPQuery(source=0), result.state,
             [EdgeInsertion(0, 1)],

@@ -1,0 +1,45 @@
+"""Tier-1 serving smoke: replay the bundled workload trace via the CLI.
+
+Fast sanity gate for the serving layer: ``grape serve`` on a truncated
+slice of the bundled trace must exit 0 (standing answers verified
+against full recomputation) and report real cache traffic.
+"""
+
+import json
+from pathlib import Path
+
+from repro.engineapi.cli import main
+
+TRACE = str(
+    Path(__file__).resolve().parents[2]
+    / "benchmarks" / "traces" / "service_workload.json"
+)
+
+
+def test_cli_serve_smoke(capsys):
+    rc = main(["serve", "--trace", TRACE, "--max-queries", "20"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "service report" in out
+    assert "standing answers identical to full recomputation" in out
+
+
+def test_cli_serve_json_smoke(capsys):
+    rc = main([
+        "serve", "--trace", TRACE, "--max-queries", "20", "--json",
+    ])
+    assert rc == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["survived"] is True
+    assert report["cache"]["hits"] > 0
+    assert report["graph_version"] >= 2  # at least one update replayed
+    for standing in report["standing"]:
+        assert standing["mismatches"] == 0
+
+
+def test_cli_serve_bad_trace(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    rc = main(["serve", "--trace", str(bad)])
+    assert rc == 2
+    assert "error:" in capsys.readouterr().err

@@ -1,0 +1,103 @@
+"""Unit tests for the versioned result cache."""
+
+import pytest
+
+from repro.service.cache import (
+    CacheEntry,
+    ResultCache,
+    Uncacheable,
+    cache_key,
+    freeze,
+)
+
+
+def _entry(version=1, answer="a", stored_at=0.0):
+    return CacheEntry(
+        answer=answer,
+        version=version,
+        query_class="sssp",
+        stored_at=stored_at,
+        cost=1.0,
+    )
+
+
+# ------------------------------------------------------------ canonical keys
+def test_freeze_dict_is_order_free():
+    assert freeze({"a": 1, "b": 2}) == freeze({"b": 2, "a": 1})
+
+
+def test_freeze_distinguishes_list_order_but_not_set_order():
+    assert freeze([1, 2]) != freeze([2, 1])
+    assert freeze({1, 2}) == freeze({2, 1})
+
+
+def test_freeze_nested_params():
+    key1 = cache_key(3, "sssp", {"source": 0, "opts": {"x": [1, 2]}})
+    key2 = cache_key(3, "sssp", {"opts": {"x": [1, 2]}, "source": 0})
+    assert key1 == key2
+    assert hash(key1) == hash(key2)
+
+
+def test_freeze_unknown_type_raises_uncacheable():
+    class Blob:
+        pass
+
+    with pytest.raises(Uncacheable):
+        cache_key(1, "sim", {"pattern": Blob()})
+
+
+def test_version_is_part_of_the_key():
+    assert cache_key(1, "sssp", {"source": 0}) != cache_key(
+        2, "sssp", {"source": 0}
+    )
+
+
+# ------------------------------------------------------------ LRU + TTL
+def test_get_put_roundtrip_counts_hits_and_misses():
+    cache = ResultCache(capacity=4)
+    key = cache_key(1, "sssp", {"source": 0})
+    assert cache.get(key, now=0.0) is None
+    cache.put(key, _entry())
+    assert cache.get(key, now=0.0).answer == "a"
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.hit_rate == 0.5
+
+
+def test_lru_evicts_least_recently_used():
+    cache = ResultCache(capacity=2)
+    k1, k2, k3 = (cache_key(1, "sssp", {"source": s}) for s in (1, 2, 3))
+    cache.put(k1, _entry())
+    cache.put(k2, _entry())
+    cache.get(k1, now=0.0)  # refresh k1; k2 becomes the LRU tail
+    cache.put(k3, _entry())
+    assert cache.get(k1, now=0.0) is not None
+    assert cache.get(k2, now=0.0) is None
+    assert cache.stats.evicted_lru == 1
+
+
+def test_ttl_expires_in_simulated_time():
+    cache = ResultCache(capacity=4, ttl=10.0)
+    key = cache_key(1, "cc", {})
+    cache.put(key, _entry(stored_at=5.0))
+    assert cache.get(key, now=15.0) is not None  # exactly at the edge
+    assert cache.get(key, now=15.1) is None
+    assert cache.stats.expired_ttl == 1
+    assert len(cache) == 0
+
+
+def test_invalidate_before_drops_only_stale_versions():
+    cache = ResultCache(capacity=8)
+    old = cache_key(1, "sssp", {"source": 0})
+    new = cache_key(2, "sssp", {"source": 0})
+    cache.put(old, _entry(version=1))
+    cache.put(new, _entry(version=2))
+    assert cache.invalidate_before(2) == 1
+    assert len(cache) == 1
+    assert cache.get(new, now=0.0) is not None
+    assert cache.stats.invalidated == 1
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        ResultCache(capacity=0)

@@ -1,0 +1,103 @@
+"""Unit tests for admission control, priorities and simulated lanes."""
+
+import pytest
+
+from repro.errors import ServiceOverloadedError
+from repro.service.scheduler import (
+    DEFAULT_PRIORITY,
+    AdmissionQueue,
+    LaneClock,
+    QueryRequest,
+)
+
+
+def _request(queue, priority=DEFAULT_PRIORITY, query_class="sssp"):
+    request = QueryRequest(
+        seq=queue.next_seq(),
+        query_class=query_class,
+        params={},
+        priority=priority,
+    )
+    queue.admit(request)
+    return request
+
+
+# ------------------------------------------------------------ dispatch order
+def test_fifo_within_one_priority():
+    queue = AdmissionQueue(capacity=8)
+    sent = [_request(queue) for _ in range(4)]
+    assert [r.seq for r in queue.take_all()] == [r.seq for r in sent]
+
+
+def test_strict_priority_before_fifo():
+    queue = AdmissionQueue(capacity=8)
+    late_urgent = []
+    _request(queue, priority=5)
+    late_urgent.append(_request(queue, priority=1))
+    _request(queue, priority=5)
+    late_urgent.append(_request(queue, priority=1))
+    order = queue.take_all()
+    assert order[:2] == late_urgent  # urgent first, FIFO among themselves
+    assert [r.priority for r in order] == [1, 1, 5, 5]
+
+
+def test_take_all_empties_the_queue():
+    queue = AdmissionQueue(capacity=4)
+    _request(queue)
+    assert queue.depth == 1
+    queue.take_all()
+    assert queue.depth == 0
+    assert queue.take_all() == []
+
+
+# ------------------------------------------------------------ backpressure
+def test_overload_sheds_with_typed_error():
+    queue = AdmissionQueue(capacity=2)
+    _request(queue)
+    _request(queue)
+    with pytest.raises(ServiceOverloadedError) as excinfo:
+        _request(queue)
+    assert excinfo.value.queue_depth == 2
+    assert excinfo.value.capacity == 2
+    assert queue.rejected == 1
+    assert queue.depth == 2  # the shed request was not enqueued
+
+
+def test_max_depth_high_water_mark():
+    queue = AdmissionQueue(capacity=8)
+    for _ in range(3):
+        _request(queue)
+    queue.take_all()
+    _request(queue)
+    assert queue.max_depth == 3
+
+
+def test_queue_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        AdmissionQueue(capacity=0)
+
+
+# ------------------------------------------------------------ simulated lanes
+def test_lanes_run_work_concurrently():
+    lanes = LaneClock(concurrency=2)
+    lane_a, start_a = lanes.start(0.0)
+    lanes.occupy(lane_a, 10.0)
+    lane_b, start_b = lanes.start(0.0)
+    assert lane_b != lane_a
+    assert start_b == 0.0  # second lane is free, no queueing delay
+    lanes.occupy(lane_b, 4.0)
+    lane_c, start_c = lanes.start(0.0)
+    assert lane_c == lane_b  # earliest-free lane wins
+    assert start_c == 4.0
+    assert lanes.horizon == 10.0
+
+
+def test_lane_start_respects_ready_time():
+    lanes = LaneClock(concurrency=1)
+    _, start = lanes.start(7.5)
+    assert start == 7.5
+
+
+def test_concurrency_must_be_positive():
+    with pytest.raises(ValueError):
+        LaneClock(concurrency=0)

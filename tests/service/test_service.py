@@ -1,0 +1,190 @@
+"""GrapeService behavior: caching across versions, standing queries,
+backpressure, and report determinism."""
+
+import pytest
+
+from repro.algorithms.sequential.dijkstra import INF, single_source
+from repro.engineapi.session import Session
+from repro.errors import ServiceError, ServiceOverloadedError
+from repro.graph.digraph import Graph
+from repro.graph.generators import road_network
+from repro.service import GrapeService, canonical_answer_bytes
+
+
+def _service(rows=6, cols=6, **kwargs):
+    graph = road_network(rows, cols, seed=3, removal_prob=0.0)
+    session = Session(graph, num_workers=3, partition="bfs")
+    return GrapeService(session, **kwargs)
+
+
+def _assert_matches_oracle(graph, answer, source):
+    oracle = single_source(graph, source)
+    for v in graph.vertices():
+        got = answer.get(v, INF)
+        assert got == pytest.approx(oracle[v]) or (
+            got == INF and oracle[v] == INF
+        )
+
+
+# ------------------------------------------------------------ cache behavior
+def test_repeated_query_is_served_from_cache():
+    service = _service()
+    first = service.query("sssp", {"source": 0})
+    second = service.query("sssp", {"source": 0})
+    assert not first.from_cache
+    assert second.from_cache
+    assert second.answer == first.answer
+    assert second.cost < first.cost
+    assert second.version == first.version == 1
+
+
+def test_cached_answer_is_correct():
+    service = _service()
+    service.query("sssp", {"source": 0})
+    hit = service.query("sssp", {"source": 0})
+    _assert_matches_oracle(service.session.graph, hit.answer, 0)
+
+
+def test_param_canonicalization_shares_cache_entries():
+    service = _service()
+    service.query("sssp", {"source": 0})
+    hit = service.query("sssp", dict(reversed([("source", 0)])))
+    assert hit.from_cache
+
+
+def test_update_bumps_version_and_invalidates_cache():
+    service = _service()
+    cold = service.query("sssp", {"source": 0})
+    outcome = service.apply_updates([(0, 20, 0.05)])
+    assert service.version == 2
+    assert outcome.version == 2
+    assert outcome.invalidated >= 1
+    fresh = service.query("sssp", {"source": 0})
+    assert not fresh.from_cache
+    assert fresh.version == 2
+    # The shortcut edge must be visible in the new answer.
+    assert fresh.answer[20] <= 0.05 < cold.answer[20]
+    _assert_matches_oracle(service.session.graph, fresh.answer, 0)
+
+
+def test_uncacheable_params_run_uncached():
+    graph = Graph()
+    graph.add_vertex(0, label="a")
+    graph.add_vertex(1, label="a")
+    graph.add_edge(0, 1)
+    session = Session(graph, num_workers=1)
+    service = GrapeService(session)
+    pattern = Graph()
+    pattern.add_vertex("x", label="a")
+    first = service.query("sim", {"pattern": pattern})
+    second = service.query("sim", {"pattern": pattern})
+    assert not first.from_cache and not second.from_cache
+    report = service.report()
+    assert report.cache["uncacheable"] == 2
+
+
+# ------------------------------------------------------------ scheduling
+def test_drain_dispatches_in_priority_then_fifo_order():
+    service = _service()
+    background = service.submit("cc", {}, client="etl", priority=9)
+    urgent = service.submit("sssp", {"source": 0}, client="dash", priority=1)
+    also_urgent = service.submit("bfs", {"source": 0}, client="dash",
+                                 priority=1)
+    results = service.drain()
+    assert list(results) == [urgent, also_urgent, background]
+
+
+def test_backpressure_sheds_and_reports():
+    service = _service(max_pending=2)
+    service.submit("sssp", {"source": 0})
+    service.submit("sssp", {"source": 1})
+    with pytest.raises(ServiceOverloadedError):
+        service.submit("sssp", {"source": 2})
+    service.drain()
+    report = service.report()
+    assert report.queue["rejected"] == 1
+    assert report.classes["sssp"]["rejected"] == 1
+    assert report.classes["sssp"]["completed"] == 2
+    # After draining, the queue accepts work again.
+    assert service.query("sssp", {"source": 2}).answer is not None
+
+
+def test_latencies_include_queue_wait_on_one_lane():
+    service = _service(concurrency=1)
+    a = service.submit("sssp", {"source": 0})
+    b = service.submit("sssp", {"source": 1})
+    results = service.drain()
+    # Same submit time, one lane: the second run waits for the first.
+    assert results[b].latency > results[a].latency
+
+
+# ------------------------------------------------------------ standing queries
+def test_standing_answers_stay_identical_to_full_recompute():
+    service = _service()
+    service.register_standing("hub", "sssp", {"source": 0})
+    service.register_standing("comp", "cc", {})
+    batches = [
+        [(0, 25, 0.2), (3, 17, 0.4)],
+        [(30, 2, 0.1)],
+        [(10, 35, 0.3), (5, 5, 1.0)],
+    ]
+    for batch in batches:
+        outcome = service.apply_updates(batch, verify=True)
+        assert outcome.verified == {"comp": True, "hub": True}
+        _assert_matches_oracle(
+            service.session.graph, service.standing_answer("hub"), 0
+        )
+    report = service.report()
+    assert report.survived
+    for standing in report.standing:
+        assert standing["repairs"] == len(batches)
+        assert standing["mismatches"] == 0
+
+
+def test_incremental_repair_does_less_work_than_recompute():
+    service = _service(rows=8, cols=8)
+    service.register_standing("hub", "sssp", {"source": 0})
+    service.apply_updates([(0, 40, 0.5)], verify=True)
+    standing = service.report().standing[0]
+    assert standing["full_work"] > 0
+    assert standing["incremental_work"] < standing["full_work"]
+    assert standing["work_ratio"] < 1.0
+
+
+def test_standing_repair_reseeds_cache_at_new_version():
+    service = _service()
+    service.register_standing("hub", "sssp", {"source": 0})
+    service.apply_updates([(0, 25, 0.2)])
+    hit = service.query("sssp", {"source": 0})
+    assert hit.from_cache  # warm at version 2 without any engine run
+    assert hit.version == 2
+    assert canonical_answer_bytes(hit.answer) == canonical_answer_bytes(
+        service.standing_answer("hub")
+    )
+
+
+def test_pending_queries_drain_before_mutation():
+    service = _service()
+    ticket = service.submit("sssp", {"source": 0})
+    outcome = service.apply_updates([(0, 25, 0.2)])
+    assert ticket in outcome.drained
+    assert outcome.drained[ticket].version == 1  # pre-update snapshot
+
+
+def test_duplicate_standing_name_rejected():
+    service = _service()
+    service.register_standing("hub", "sssp", {"source": 0})
+    with pytest.raises(ServiceError, match="already registered"):
+        service.register_standing("hub", "cc", {})
+
+
+def test_standing_requires_incremental_support():
+    service = _service()
+    with pytest.raises(ServiceError, match="on_graph_update"):
+        service.register_standing("ranks", "pagerank", {})
+
+
+def test_unknown_standing_query_raises():
+    service = _service()
+    with pytest.raises(ServiceError, match="unknown standing query"):
+        service.standing_answer("nope")

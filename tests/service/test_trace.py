@@ -1,0 +1,75 @@
+"""Workload traces: validation, replay, and report determinism."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import GrapeError
+from repro.service.trace import load_trace, replay_trace
+
+TRACE = (
+    Path(__file__).resolve().parents[2]
+    / "benchmarks" / "traces" / "service_workload.json"
+)
+
+
+def test_bundled_trace_loads():
+    trace = load_trace(str(TRACE))
+    assert trace["ops"]
+    assert {s["name"] for s in trace["standing"]} == {
+        "hub-sssp", "components",
+    }
+
+
+def test_load_trace_rejects_unknown_op(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"graph": "road:4x4",
+                               "ops": [{"op": "teleport"}]}))
+    with pytest.raises(GrapeError, match="unknown kind"):
+        load_trace(str(bad))
+
+
+def test_load_trace_rejects_query_without_class(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"graph": "road:4x4",
+                               "ops": [{"op": "query"}]}))
+    with pytest.raises(GrapeError, match="needs a 'class'"):
+        load_trace(str(bad))
+
+
+def test_load_trace_requires_graph_somewhere(tmp_path):
+    trace_file = tmp_path / "nograph.json"
+    trace_file.write_text(json.dumps({"ops": []}))
+    trace = load_trace(str(trace_file))
+    with pytest.raises(GrapeError, match="names no graph"):
+        replay_trace(trace)
+
+
+def test_replay_is_deterministic():
+    trace = load_trace(str(TRACE))
+    _, first = replay_trace(trace, max_queries=8)
+    _, second = replay_trace(load_trace(str(TRACE)), max_queries=8)
+    assert first.to_json() == second.to_json()
+
+
+def test_bundled_trace_meets_serving_criteria():
+    trace = load_trace(str(TRACE))
+    service, report = replay_trace(trace)
+    assert report.survived
+    assert report.cache_hit_rate > 0
+    assert report.updates["batches"] == 3
+    for standing in report.standing:
+        assert standing["verified_batches"] == 3
+        assert standing["mismatches"] == 0
+        # Incremental repair settles strictly less than recomputation.
+        assert standing["work_ratio"] < 1.0
+    assert service.version == 4  # three update batches past version 1
+
+
+def test_max_queries_truncates_cheaply():
+    trace = load_trace(str(TRACE))
+    _, report = replay_trace(trace, max_queries=3)
+    completed = sum(c["completed"] for c in report.classes.values())
+    assert completed == 3
+    assert report.updates["batches"] == 0  # updates after the cut skipped
