@@ -109,27 +109,124 @@ class BFSProgram(PIEProgram[BFSQuery, Partial, dict]):
                 params.improve(v, d)
         return partial
 
+    def classify_update(self, query: BFSQuery, op) -> bool:
+        """Hop distances ignore weights: only deletions are unsafe."""
+        return op.kind != "delete"
+
     def on_graph_update(
         self,
         fragment: Fragment,
         query: BFSQuery,
         partial: Partial,
         params: UpdateParams,
-        insertions,
+        delta,
     ) -> Partial:
-        """ΔG hook: new edges only shorten hop distances."""
+        """ΔG hook: new edges only shorten hop distances.
+
+        Reweights are hop-neutral no-ops; deletions are classified
+        unsafe and repaired via :meth:`repair_partial`.
+        """
         offers: dict[VertexId, float] = {}
-        for ins in insertions:
-            du = partial.get(ins.src, INF)
+        for op in delta:
+            if op.kind != "insert":
+                continue
+            du = partial.get(op.src, INF)
             if du < INF:
                 candidate = du + 1
-                if candidate < offers.get(ins.dst, INF):
-                    offers[ins.dst] = candidate
+                if candidate < offers.get(op.dst, INF):
+                    offers[op.dst] = candidate
         updates, work = local_bfs(
             fragment.graph, offers, known=partial, max_depth=query.max_depth
         )
         partial.update(updates)
         self.work_log.append(("update", fragment.fid, work))
+        for v, d in updates.items():
+            if v in fragment.inner_border or v in fragment.mirrors:
+                params.improve(v, d)
+        return partial
+
+    def delta_seeds(
+        self, fragment: Fragment, query: BFSQuery, partial: Partial, ops
+    ) -> set:
+        """Endpoints whose hop count may have routed through a deletion.
+
+        Unit-weight tightness: the lost edge mattered only when
+        ``hops(dst) == hops(src) + 1``.
+        """
+        seeds: set = set()
+        directed = fragment.graph.directed
+        for op in ops:
+            pairs = [(op.src, op.dst)]
+            if not directed:
+                pairs.append((op.dst, op.src))
+            for u, v in pairs:
+                if not fragment.graph.has_vertex(v):
+                    # Pruned mirror: invalidation can no longer reach
+                    # this fragment (it left known_by), so the stale
+                    # partial entry must be discarded now (see SSSP).
+                    if v in partial:
+                        seeds.add(v)
+                    continue
+                dv = partial.get(v, INF)
+                if dv == INF:
+                    continue
+                if dv == partial.get(u, INF) + 1:
+                    seeds.add(v)
+        return seeds
+
+    def invalidated_region(
+        self, fragment: Fragment, query: BFSQuery, partial: Partial,
+        seeds: set,
+    ) -> set:
+        """Closure of ``seeds`` over tight (hop-incrementing) out-edges."""
+        region = set(seeds)
+        stack = [v for v in seeds if fragment.graph.has_vertex(v)]
+        while stack:
+            u = stack.pop()
+            du = partial.get(u, INF)
+            if du == INF:
+                continue
+            for v in fragment.graph.out_neighbors(u):
+                if v in region:
+                    continue
+                if partial.get(v, INF) == du + 1:
+                    region.add(v)
+                    stack.append(v)
+        return region
+
+    def repair_partial(
+        self,
+        fragment: Fragment,
+        query: BFSQuery,
+        partial: Partial,
+        params: UpdateParams,
+        region: set,
+    ) -> Partial:
+        """Re-derive an invalidated region's hops from its boundary."""
+        for v in region:
+            partial.pop(v, None)
+        seeds: dict[VertexId, float] = {}
+        if query.source in region and query.source in fragment.graph:
+            seeds[query.source] = 0.0
+        for v in region:
+            if not fragment.graph.has_vertex(v):
+                continue
+            best = seeds.get(v, INF)
+            for u in fragment.graph.in_neighbors(v):
+                if u in region:
+                    continue
+                du = partial.get(u, INF)
+                if du + 1 < best:
+                    best = du + 1
+            if best < INF:
+                if query.max_depth is not None and best > query.max_depth:
+                    continue
+                seeds[v] = best
+        updates, work = local_bfs(
+            fragment.graph, seeds, known=partial, max_depth=query.max_depth
+        )
+        partial.update(updates)
+        self.work_log.append(("repair", fragment.fid, work))
         for v, d in updates.items():
             if v in fragment.inner_border or v in fragment.mirrors:
                 params.improve(v, d)

@@ -73,23 +73,31 @@ class CCProgram(PIEProgram[CCQuery, Partial, dict]):
                 params.improve(v, label)
         return partial
 
+    def classify_update(self, query: CCQuery, op) -> bool:
+        """Connectivity ignores weights: only deletions are unsafe."""
+        return op.kind != "delete"
+
     def on_graph_update(
         self,
         fragment: Fragment,
         query: CCQuery,
         partial: Partial,
         params: UpdateParams,
-        insertions,
+        delta,
     ) -> Partial:
         """ΔG hook: an inserted edge merges two components (labels drop).
 
         Connectivity is undirected, so the merge must flow both ways
         across a cross-fragment edge: the side owning only the *target*
         exports the target's current label (the insertion just made it a
-        border vertex the other side has never heard about).
+        border vertex the other side has never heard about). Reweights
+        are connectivity-neutral no-ops; deletions are classified unsafe
+        and repaired via :meth:`repair_partial`.
         """
         decreased: dict[VertexId, VertexId] = {}
-        for ins in insertions:
+        for ins in delta:
+            if ins.kind != "insert":
+                continue
             if ins.dst in fragment.owned and ins.src not in fragment.owned:
                 # We own the target of a cross edge: the source side has
                 # a brand-new mirror of it — publish our current label so
@@ -120,6 +128,63 @@ class CCProgram(PIEProgram[CCQuery, Partial, dict]):
         )
         self.work_log.append(("update", fragment.fid, touched))
         for v, label in changes.items():
+            if v in fragment.inner_border or v in fragment.mirrors:
+                params.improve(v, label)
+        return partial
+
+    def delta_seeds(
+        self, fragment: Fragment, query: CCQuery, partial: Partial, ops
+    ) -> set:
+        """Both endpoints of each deleted edge (connectivity is mutual)."""
+        seeds: set = set()
+        for op in ops:
+            for v in (op.src, op.dst):
+                if fragment.graph.has_vertex(v) or v in partial:
+                    seeds.add(v)
+        return seeds
+
+    def invalidated_region(
+        self, fragment: Fragment, query: CCQuery, partial: Partial, seeds: set
+    ) -> set:
+        """Every local vertex sharing a component label with a seed.
+
+        A deletion can split a component, so *any* vertex carrying one of
+        the seeds' labels may owe its label to the lost edge. At the old
+        fixed point a local weak component is label-uniform, so taking
+        label-mates captures whole components and leaves no local edge
+        between the region and its complement.
+        """
+        labels = {
+            partial[v] for v in seeds if partial.get(v) is not None
+        }
+        region = set(seeds)
+        for v, label in partial.items():
+            if label in labels:
+                region.add(v)
+        return region
+
+    def repair_partial(
+        self,
+        fragment: Fragment,
+        query: CCQuery,
+        partial: Partial,
+        params: UpdateParams,
+        region: set,
+    ) -> Partial:
+        """Relabel the invalidated components from scratch.
+
+        The region is a union of whole local weak components (see
+        :meth:`invalidated_region`), so recomputing union-find on the
+        induced subgraph is locally complete; cross-fragment stitching
+        happens in the IncEval fixpoint that follows.
+        """
+        for v in region:
+            partial.pop(v, None)
+        present = [v for v in region if fragment.graph.has_vertex(v)]
+        labels = connected_components(fragment.graph.subgraph(present))
+        self.work_log.append(("repair", fragment.fid, len(labels)))
+        partial.update(labels)
+        for v, label in labels.items():
             if v in fragment.inner_border or v in fragment.mirrors:
                 params.improve(v, label)
         return partial

@@ -117,6 +117,115 @@ class KCoreProgram(PIEProgram[KCoreQuery, Partial, dict]):
         self._export(fragment, partial, params)
         return partial
 
+    def classify_update(self, query: KCoreQuery, op) -> bool:
+        """k-core's natural direction is *deletion*: estimates only drop.
+
+        Removing an edge can only lower core numbers, so the old
+        estimates stay valid upper bounds and the H-index iteration
+        reconverges from them — deletions are the monotone-safe arm.
+        An insertion can *raise* core numbers, which the MIN aggregator
+        cannot express incrementally: unsafe, repaired by resetting the
+        affected component to degree bounds. Weights never matter.
+        """
+        return op.kind != "insert"
+
+    def _settle(
+        self, fragment: Fragment, partial: Partial, params: UpdateParams,
+        dirty: set,
+    ) -> int:
+        """Dirty-driven H-index rounds to the local fixed point."""
+        from repro.algorithms.sequential.kcore_seq import h_index_round
+
+        external = self._external(fragment, params)
+        total_work = 0
+        while dirty:
+            changes, work = h_index_round(
+                fragment.graph, partial, external=external, vertices=dirty
+            )
+            total_work += work
+            if not changes:
+                break
+            partial.update(changes)
+            dirty = {
+                p
+                for v in changes
+                for p in fragment.graph.neighbors(v)
+                if p in partial
+            }
+        return total_work
+
+    def on_graph_update(
+        self,
+        fragment: Fragment,
+        query: KCoreQuery,
+        partial: Partial,
+        params: UpdateParams,
+        delta,
+    ) -> Partial:
+        """ΔG hook for the safe arm: deletions (reweights are no-ops).
+
+        Each deleted edge caps its locally-owned endpoints' estimates by
+        their new degree (a core number never exceeds the degree), then
+        the H-index iteration reconverges downward from the still-valid
+        upper bounds.
+        """
+        dirty: set = set()
+        for op in delta:
+            if op.kind != "delete":
+                continue
+            for v in (op.src, op.dst):
+                if v not in partial or not fragment.graph.has_vertex(v):
+                    continue
+                degree = len(set(fragment.graph.neighbors(v)) - {v})
+                if partial[v] > degree:
+                    partial[v] = degree
+                dirty.add(v)
+                dirty.update(
+                    p for p in fragment.graph.neighbors(v) if p in partial
+                )
+        work = self._settle(fragment, partial, params, dirty)
+        self.work_log.append(("update", fragment.fid, work))
+        self._export(fragment, partial, params)
+        return partial
+
+    def delta_seeds(
+        self, fragment: Fragment, query: KCoreQuery, partial: Partial, ops
+    ) -> set:
+        """Both endpoints of each inserted edge (degrees are mutual)."""
+        seeds: set = set()
+        for op in ops:
+            for v in (op.src, op.dst):
+                if fragment.graph.has_vertex(v) or v in partial:
+                    seeds.add(v)
+        return seeds
+
+    def repair_partial(
+        self,
+        fragment: Fragment,
+        query: KCoreQuery,
+        partial: Partial,
+        params: UpdateParams,
+        region: set,
+    ) -> Partial:
+        """Re-derive the invalidated component from degree upper bounds.
+
+        Insertions can raise core numbers anywhere in the containing
+        component, so the region (its whole local closure — the base
+        :meth:`invalidated_region` over a symmetric edge set) restarts
+        from each vertex's degree, exactly as PEval would, and iterates
+        down. Mirror estimates in the region were reset to ``None`` and
+        are treated as optimistic until the fixpoint refines them.
+        """
+        dirty: set = set()
+        for v in region:
+            if v in partial and fragment.graph.has_vertex(v):
+                partial[v] = len(set(fragment.graph.neighbors(v)) - {v})
+                dirty.add(v)
+        work = self._settle(fragment, partial, params, dirty)
+        self.work_log.append(("repair", fragment.fid, work))
+        self._export(fragment, partial, params)
+        return partial
+
     def assemble(
         self, query: KCoreQuery, partials: Sequence[Partial]
     ) -> dict[VertexId, int]:

@@ -85,22 +85,130 @@ class SSSPProgram(PIEProgram[SSSPQuery, Partial, dict]):
         query: SSSPQuery,
         partial: Partial,
         params: UpdateParams,
-        insertions,
+        delta,
     ) -> Partial:
-        """ΔG hook: inserted edges can only shorten paths (decrease-only).
+        """ΔG hook: safe ops can only shorten paths (decrease-only).
 
-        Each new edge ``u -> v`` offers ``dist(u) + w`` to ``v``; the
-        bounded incremental algorithm repairs the affected region.
+        Inserted or weight-decreased edges ``u -> v`` offer
+        ``dist(u) + w`` to ``v``; the bounded incremental algorithm
+        repairs the affected region. Deletions never arrive here — they
+        are classified unsafe and repaired via :meth:`repair_partial`.
         """
         offers: dict[VertexId, float] = {}
-        for ins in insertions:
-            du = partial.get(ins.src, INF)
+        for op in delta:
+            if op.kind == "delete":
+                continue
+            du = partial.get(op.src, INF)
             if du < INF:
-                candidate = du + ins.weight
-                if candidate < offers.get(ins.dst, INF):
-                    offers[ins.dst] = candidate
+                candidate = du + op.weight
+                if candidate < offers.get(op.dst, INF):
+                    offers[op.dst] = candidate
         updates, settled = incremental_sssp(fragment.graph, partial, offers)
         self.work_log.append(("update", fragment.fid, settled))
+        for v, d in updates.items():
+            if v in fragment.inner_border or v in fragment.mirrors:
+                params.improve(v, d)
+        return partial
+
+    def delta_seeds(
+        self, fragment: Fragment, query: SSSPQuery, partial: Partial, ops
+    ) -> set:
+        """Vertices whose distance may have routed through an unsafe op.
+
+        An endpoint is affected only when the lost/lengthened edge was
+        *tight* — ``dist(dst) == dist(src) + w`` — i.e. it could have
+        carried a shortest path; a slack edge never did. When the old
+        weight is unknown the endpoint is seeded conservatively. A
+        target that vanished from the local graph (pruned mirror) is
+        still seeded when a stale partial entry remains — otherwise its
+        old distance would leak back through the min-union Assemble.
+        """
+        seeds: set = set()
+        directed = fragment.graph.directed
+        for op in ops:
+            old_w = op.weight if op.kind == "delete" else op.old_weight
+            pairs = [(op.src, op.dst)]
+            if not directed:
+                pairs.append((op.dst, op.src))
+            for u, v in pairs:
+                if not fragment.graph.has_vertex(v):
+                    # The op pruned this mirror: once it leaves known_by,
+                    # no future invalidation can reach this fragment, so
+                    # its stale partial entry must be discarded *now* or
+                    # it leaks through the min-union Assemble forever.
+                    if v in partial:
+                        seeds.add(v)
+                    continue
+                dv = partial.get(v, INF)
+                if dv == INF:
+                    continue  # never reached: nothing to invalidate
+                du = partial.get(u, INF)
+                if old_w is None or dv == du + old_w:
+                    seeds.add(v)
+        return seeds
+
+    def invalidated_region(
+        self, fragment: Fragment, query: SSSPQuery, partial: Partial,
+        seeds: set,
+    ) -> set:
+        """Closure of ``seeds`` over *tight* out-edges only.
+
+        A distance can only depend on an invalidated vertex through an
+        edge that lies on a shortest path (``dist(v) == dist(u) + w``);
+        slack edges carry no dependency, which keeps the region — and
+        hence the repair — proportional to the true affected subtree
+        instead of the whole reachable set.
+        """
+        region = set(seeds)
+        stack = [v for v in seeds if fragment.graph.has_vertex(v)]
+        while stack:
+            u = stack.pop()
+            du = partial.get(u, INF)
+            if du == INF:
+                continue
+            for e in fragment.graph.out_edges(u):
+                if e.dst in region:
+                    continue
+                if partial.get(e.dst, INF) == du + e.weight:
+                    region.add(e.dst)
+                    stack.append(e.dst)
+        return region
+
+    def repair_partial(
+        self,
+        fragment: Fragment,
+        query: SSSPQuery,
+        partial: Partial,
+        params: UpdateParams,
+        region: set,
+    ) -> Partial:
+        """Re-derive an invalidated region's distances from its boundary.
+
+        Region entries are discarded, then re-seeded from the query
+        source (if invalidated) and from in-edges whose tail lies
+        *outside* the region — those distances are still trusted. The
+        IncEval fixpoint afterwards folds in whatever other fragments
+        re-derive.
+        """
+        for v in region:
+            partial.pop(v, None)
+        seeds: dict[VertexId, float] = {}
+        if query.source in region and query.source in fragment.graph:
+            seeds[query.source] = 0.0
+        for v in region:
+            if not fragment.graph.has_vertex(v):
+                continue
+            best = seeds.get(v, INF)
+            for e in fragment.graph.in_edges(v):
+                if e.src in region:
+                    continue
+                du = partial.get(e.src, INF)
+                if du < INF and du + e.weight < best:
+                    best = du + e.weight
+            if best < INF:
+                seeds[v] = best
+        updates, settled = incremental_sssp(fragment.graph, partial, seeds)
+        self.work_log.append(("repair", fragment.fid, settled))
         for v, d in updates.items():
             if v in fragment.inner_border or v in fragment.mirrors:
                 params.improve(v, d)

@@ -187,6 +187,17 @@ _RULES = (
         "combine of the partial answers; move state onto the program's "
         "partials or compute it in PEval/IncEval",
     ),
+    RuleInfo(
+        "GRP404",
+        "contract",
+        "warning",
+        "ΔG hook ignores the deletion arm",
+        "the program repairs updates via on_graph_update, but a deletion "
+        "in the batch routes to the default repair_partial, which "
+        "raises at runtime; implement delta_seeds/repair_partial "
+        "(non-monotone repair) or classify deletions as safe and handle "
+        "op.kind == 'delete' in on_graph_update",
+    ),
 )
 
 #: code -> RuleInfo for every known rule.

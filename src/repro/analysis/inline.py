@@ -1,4 +1,4 @@
-"""One-level inlining of same-class helper calls before rule evaluation.
+"""Bounded-depth inlining of same-class helper calls before rules run.
 
 grape-lint's rules are intra-procedural: a PIE method that delegates its
 border publish to ``self._publish(params)`` used to escape GRP101/GRP202
@@ -12,8 +12,13 @@ names (when the argument is a plain name — the case that matters for
 
 Deliberate limits, matching the ROADMAP item:
 
-* **one level** — helper bodies are spliced in verbatim; calls *inside*
-  a helper are not expanded again (no recursion, terminates trivially);
+* **bounded depth** — helper calls inside a spliced body are expanded
+  too, up to :data:`MAX_INLINE_DEPTH` (3) helper levels below the role
+  method; deeper chains keep the call unexpanded (the helper is still
+  checked directly as a method, so nothing is lost outright);
+* **cycle guard** — a helper already on the current expansion stack is
+  never re-entered, so direct or mutual recursion terminates with the
+  recursive call left in place;
 * bare-statement calls (``self._publish(...)``) are replaced in place,
   so surrounding loop context is preserved; value-position calls
   (``x = self._f(...)``) keep the original statement and splice the
@@ -34,7 +39,11 @@ import copy
 
 from repro.analysis.inspector import MethodInfo, ProgramInfo, dotted_name
 
-__all__ = ["inline_helpers"]
+__all__ = ["inline_helpers", "MAX_INLINE_DEPTH"]
+
+#: Helper levels expanded below a role method (chains deeper than this
+#: keep the call unexpanded).
+MAX_INLINE_DEPTH = 3
 
 
 class _Rename(ast.NodeTransformer):
@@ -64,15 +73,23 @@ class _ReturnToExpr(ast.NodeTransformer):
     visit_AsyncFunctionDef = visit_FunctionDef
 
 
-def _helper_call(node: ast.AST, helpers: dict[str, MethodInfo]):
-    """The ``(call, helper)`` pair if ``node`` is ``self.<helper>(...)``."""
+def _helper_call(
+    node: ast.AST,
+    helpers: dict[str, MethodInfo],
+    stack: frozenset[str] = frozenset(),
+):
+    """The ``(call, helper)`` pair if ``node`` is ``self.<helper>(...)``.
+
+    Helpers on the current expansion ``stack`` are not expandable —
+    that's the recursion/cycle guard.
+    """
     if not isinstance(node, ast.Call):
         return None
     name = dotted_name(node.func)
     if name is None or "." not in name:
         return None
     receiver, _, attr = name.rpartition(".")
-    if receiver != "self":
+    if receiver != "self" or attr in stack:
         return None
     helper = helpers.get(attr)
     return (node, helper) if helper is not None else None
@@ -85,8 +102,19 @@ def _formal_args(fn: ast.FunctionDef) -> list[str]:
     return args
 
 
-def _expanded_body(call: ast.Call, helper: MethodInfo) -> list[ast.stmt]:
-    """A renamed copy of ``helper``'s body, ready to splice at ``call``."""
+def _expanded_body(
+    call: ast.Call,
+    helper: MethodInfo,
+    helpers: dict[str, MethodInfo],
+    depth: int,
+    stack: frozenset[str],
+) -> list[ast.stmt]:
+    """A renamed copy of ``helper``'s body, ready to splice at ``call``.
+
+    Helper calls *inside* the spliced body are expanded one level
+    deeper (up to :data:`MAX_INLINE_DEPTH`), with ``helper`` itself
+    pushed onto the expansion stack so recursion cannot loop.
+    """
     mapping: dict[str, str] = {}
     formals = _formal_args(helper.node)
     for formal, actual in zip(formals, call.args):
@@ -111,45 +139,58 @@ def _expanded_body(call: ast.Call, helper: MethodInfo) -> list[ast.stmt]:
         stmt = cleaner.visit(stmt)
         ast.fix_missing_locations(stmt)
         out.append(stmt)
-    return out or [ast.copy_location(ast.Pass(), call)]
+    if not out:
+        return [ast.copy_location(ast.Pass(), call)]
+    return _inline_stmts(out, helpers, depth + 1, stack | {helper.name})
 
 
-def _first_helper_call(stmt: ast.stmt, helpers: dict[str, MethodInfo]):
-    """First same-class helper call anywhere under ``stmt``."""
+def _first_helper_call(
+    stmt: ast.stmt,
+    helpers: dict[str, MethodInfo],
+    stack: frozenset[str] = frozenset(),
+):
+    """First expandable same-class helper call anywhere under ``stmt``."""
     for sub in ast.walk(stmt):
-        found = _helper_call(sub, helpers)
+        found = _helper_call(sub, helpers, stack)
         if found is not None:
             return found
     return None
 
 
 def _inline_stmts(
-    stmts: list[ast.stmt], helpers: dict[str, MethodInfo]
+    stmts: list[ast.stmt],
+    helpers: dict[str, MethodInfo],
+    depth: int = 1,
+    stack: frozenset[str] = frozenset(),
 ) -> list[ast.stmt]:
     """Expand helper calls through one statement list (recursing into
-    compound statements, but never into already-spliced bodies)."""
+    compound statements). ``depth`` counts helper levels below the role
+    method; past :data:`MAX_INLINE_DEPTH` calls stay unexpanded."""
+    if depth > MAX_INLINE_DEPTH:
+        return stmts
     out: list[ast.stmt] = []
     for stmt in stmts:
         # Bare call statement: replace in place, preserving loop context.
         if isinstance(stmt, ast.Expr):
-            found = _helper_call(stmt.value, helpers)
+            found = _helper_call(stmt.value, helpers, stack)
             if found is not None:
-                out.extend(_expanded_body(*found))
+                out.extend(_expanded_body(*found, helpers, depth, stack))
                 continue
         # Recurse into compound-statement bodies first.
         for attr in ("body", "orelse", "finalbody"):
             inner = getattr(stmt, attr, None)
             if isinstance(inner, list) and inner:
-                setattr(stmt, attr, _inline_stmts(inner, helpers))
+                setattr(stmt, attr, _inline_stmts(inner, helpers, depth,
+                                                  stack))
         for handler in getattr(stmt, "handlers", []):
-            handler.body = _inline_stmts(handler.body, helpers)
+            handler.body = _inline_stmts(handler.body, helpers, depth, stack)
         out.append(stmt)
         # Value-position call (assignment, condition...): splice after.
         if not isinstance(stmt, (ast.For, ast.While, ast.If, ast.With,
                                  ast.Try)):
-            found = _first_helper_call(stmt, helpers)
+            found = _first_helper_call(stmt, helpers, stack)
             if found is not None:
-                out.extend(_expanded_body(*found))
+                out.extend(_expanded_body(*found, helpers, depth, stack))
     return out
 
 

@@ -41,7 +41,11 @@ _ROLE_SIGNATURES: dict[str, tuple[str, ...]] = {
     "declare_params": ("fragment", "query", "params"),
     "peval": ("fragment", "query", "params"),
     "inceval": ("fragment", "query", "partial", "params", "changed"),
-    "on_graph_update": ("fragment", "query", "partial", "params", "insertions"),
+    "on_graph_update": ("fragment", "query", "partial", "params", "delta"),
+    "classify_update": ("query", "op"),
+    "delta_seeds": ("fragment", "query", "partial", "ops"),
+    "invalidated_region": ("fragment", "query", "partial", "seeds"),
+    "repair_partial": ("fragment", "query", "partial", "params", "region"),
     "assemble": ("query", "partials"),
 }
 

@@ -4,7 +4,10 @@ The two declarations the paper adds to sequential code — the aggregate
 function with its default, and the set of vertices carrying update
 parameters — have their own invariants: the default must be the identity
 (top) of the aggregator's order, parameters belong on border vertices,
-and Assemble must be a pure combine.
+and Assemble must be a pure combine. A program that opts into the ΔG
+path (``on_graph_update``) must also cover the deletion arm — either a
+non-monotone ``repair_partial`` or an explicit safe-op ``delete``
+branch — or deletions fail at runtime (GRP404).
 """
 
 from __future__ import annotations
@@ -113,6 +116,29 @@ def check(program: ProgramInfo, module: ModuleInfo) -> Iterator[Finding]:
                 node=declare_calls[0],
                 program=program.name,
                 method=declare.name,
+            )
+
+    # --- GRP404: ΔG hook without a deletion arm ---------------------------
+    hook = program.method("on_graph_update")
+    if hook is not None and program.method("repair_partial") is None:
+        classify = program.method("classify_update")
+        bodies = [hook.node]
+        if classify is not None:
+            bodies.append(classify.node)
+        handles_delete = any(
+            isinstance(sub, ast.Constant) and sub.value == "delete"
+            for body in bodies
+            for sub in ast.walk(body)
+        )
+        if not handles_delete:
+            yield make_finding(
+                "GRP404",
+                "on_graph_update has no deletion arm: a delete op falls "
+                "through to the default repair_partial, which raises",
+                path=program.path,
+                node=hook.node,
+                program=program.name,
+                method=hook.name,
             )
 
     # --- GRP403: impure Assemble ------------------------------------------

@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 from typing import Generic, Hashable
 
 from repro.core.assurance import MonotonicityChecker
-from repro.core.incremental import EngineState
+from repro.core.delta import DeltaRepairStats, EngineState
 from repro.core.pie import P, PIEProgram, Q, R
 from repro.core.supervisor import SupervisionPolicy, Supervisor
 from repro.core.termination import FixpointGuard
@@ -76,6 +76,9 @@ class GrapeResult(Generic[R]):
     #: set when run(..., keep_state=True): resumable fixpoint state for
     #: run_incremental after graph updates.
     state: object | None = None
+    #: set by run_incremental: what the ΔG repair did
+    #: (:class:`~repro.core.delta.DeltaRepairStats`).
+    repair: DeltaRepairStats | None = None
 
     @property
     def num_supersteps(self) -> int:
@@ -100,6 +103,10 @@ class GrapeEngine:
         routing: ``"coordinator"`` (paper default) or ``"direct"``.
         supervision: retry/backoff/recovery knobs (defaults to
             :class:`~repro.core.supervisor.SupervisionPolicy`).
+        repair_fraction: non-monotone repair falls back to a full
+            recompute when any fragment's invalidated region exceeds
+            this fraction of its local vertices (scoped repair would
+            then cost more than starting over).
     """
 
     def __init__(
@@ -111,9 +118,14 @@ class GrapeEngine:
         max_supersteps: int = 10_000,
         routing: str = "coordinator",
         supervision: SupervisionPolicy | None = None,
+        repair_fraction: float = 0.5,
     ) -> None:
         if routing not in ("coordinator", "direct"):
             raise ProgramError(f"unknown routing mode {routing!r}")
+        if not 0.0 <= repair_fraction <= 1.0:
+            raise ProgramError(
+                f"repair_fraction must be in [0, 1], got {repair_fraction!r}"
+            )
         self.fragmented = fragmented
         self.cost_model = cost_model or CostModel()
         self.check_monotonic = check_monotonic
@@ -121,6 +133,7 @@ class GrapeEngine:
         self.max_supersteps = max_supersteps
         self.routing = routing
         self.supervision = supervision or SupervisionPolicy()
+        self.repair_fraction = repair_fraction
 
     # ------------------------------------------------------------------
     def run(
@@ -209,37 +222,48 @@ class GrapeEngine:
         program: PIEProgram[Q, P, R],
         query: Q,
         state,
-        insertions,
+        delta,
         checkpoint=None,
         faults=None,
         touched=None,
     ) -> GrapeResult[R]:
-        """Resume a fixed point after edge insertions (ΔG).
+        """Resume a fixed point after a ΔG batch (insert/delete/reweight).
 
-        ``state`` is the :class:`~repro.core.incremental.EngineState`
-        from a prior ``run(..., keep_state=True)`` of the *same* program
-        and query over *this* engine's fragmentation. The fragments are
-        mutated in place to contain the new edges; each touched fragment
-        repairs its partial answer through ``program.on_graph_update``;
-        the ordinary IncEval fixpoint and Assemble follow. Monotone-safe
-        for insertions only (see :mod:`repro.core.incremental`).
-        ``checkpoint`` and ``faults`` behave exactly as in :meth:`run`:
-        long post-ΔG fixpoints snapshot on the same cadence and recover
-        fatal losses in-run.
+        ``state`` is the :class:`~repro.core.delta.EngineState` from a
+        prior ``run(..., keep_state=True)`` of the *same* program and
+        query over *this* engine's fragmentation. The fragments are
+        mutated in place to reflect ``delta`` (anything
+        ``GraphDelta.coerce`` accepts, including plain insertion lists).
+        Each op is classified by ``program.classify_update``:
 
-        ``touched`` is the fragment-id -> insertions mapping returned by
-        a prior :func:`~repro.core.incremental.apply_insertions` of the
-        *same batch*: pass it when the insertions were already routed
-        into the fragments, e.g. by a serving layer repairing several
-        standing queries from one mutation — re-applying would duplicate
-        the edges' border bookkeeping. Left as ``None`` the engine
-        routes ``insertions`` itself.
+        * **monotone-safe** ops repair through ``program.on_graph_update``
+          and resume the old fixed point directly;
+        * **unsafe** ops (deletions, order-breaking reweights) go through
+          invalidate-and-recompute: seed vertices from
+          ``program.delta_seeds``, close them over value dependencies
+          (``program.invalidated_region``) *across* fragments, reset the
+          region's update parameters to the order's default, and re-derive
+          it with ``program.repair_partial`` — unless any fragment's
+          region exceeds ``repair_fraction`` of its local vertices, in
+          which case the whole fixpoint restarts from PEval over the
+          mutated graph.
+
+        The ordinary IncEval fixpoint and Assemble follow either way;
+        the result's ``repair`` field records which path ran.
+        ``checkpoint`` and ``faults`` behave exactly as in :meth:`run`.
+
+        ``touched`` is the fragment-id -> ops mapping returned by a prior
+        :func:`~repro.core.delta.apply_delta` of the *same batch*: pass
+        it when the delta was already routed into the fragments, e.g. by
+        a serving layer repairing several standing queries from one
+        mutation — re-applying would duplicate the edges' border
+        bookkeeping. Left as ``None`` the engine routes ``delta`` itself.
 
         A state produced by a different program, fragment count, or
         aggregator raises :class:`~repro.errors.StaleStateError` up
         front instead of failing deep inside the fixpoint.
         """
-        from repro.core.incremental import apply_insertions
+        from repro.core.delta import apply_delta
 
         self._check_state(program, query, state)
         cluster = self._make_cluster(f"grape-inc[{program.name}]", faults)
@@ -249,11 +273,12 @@ class GrapeEngine:
         params = state.params
         guard = FixpointGuard(max_supersteps=self.max_supersteps)
         rounds: list[RoundInfo] = []
+        repair = DeltaRepairStats()
 
         if touched is None:
-            touched = apply_insertions(self.fragmented, insertions)
+            touched = apply_delta(self.fragmented, delta)
 
-        # Insertions can create fresh border vertices; their update
+        # The delta can create fresh border vertices; their update
         # parameters are declared with the spec default before programs
         # touch them.
         for wid in range(n):
@@ -262,19 +287,79 @@ class GrapeEngine:
             if fresh:
                 params[wid].declare(fresh)
 
-        with cluster.superstep("update") as step:
-            for wid, local_insertions in touched.items():
-                frag = self.fragmented.fragments[wid]
+        safe: dict[int, list] = {}
+        unsafe: dict[int, list] = {}
+        safe_keys: set = set()
+        unsafe_keys: set = set()
+        for wid, ops in touched.items():
+            for op in ops:
+                if program.classify_update(query, op):
+                    safe.setdefault(wid, []).append(op)
+                    safe_keys.add((op.kind, op.src, op.dst))
+                else:
+                    unsafe.setdefault(wid, []).append(op)
+                    unsafe_keys.add((op.kind, op.src, op.dst))
+        repair.safe_ops = len(safe_keys)
+        repair.unsafe_ops = len(unsafe_keys)
 
-                def _update(wid=wid, frag=frag, ins=local_insertions):
-                    partials[wid] = program.on_graph_update(
-                        frag, query, partials[wid], params[wid], ins
-                    )
-                    return params[wid].consume_changes()
+        full_restart = False
+        if unsafe:
+            invalid = self._invalidate(
+                cluster, program, query, partials, unsafe, supervisor, repair
+            )
+            repair.fragments = {
+                wid: len(region) for wid, region in invalid.items() if region
+            }
+            repair.invalidated = sum(repair.fragments.values())
+            full_restart = any(
+                len(region)
+                > self.repair_fraction
+                * max(1, self.fragmented.fragments[wid].graph.num_vertices)
+                for wid, region in invalid.items()
+            )
+            repair.mode = "full" if full_restart else "scoped"
 
-                changes = supervisor.attempt(step, wid, _update)
-                if changes:
-                    self._emit(step, wid, changes)
+        if full_restart:
+            # The invalidated region dominates the graph: re-deriving it
+            # piecemeal would cost more than starting over. Fresh stores,
+            # fresh PEval over the already-mutated fragments.
+            self._restart_peval(
+                cluster, program, query, params, partials, supervisor
+            )
+        else:
+            if unsafe:
+                for wid, region in invalid.items():
+                    repair.resets += params[wid].reset(region)
+                with cluster.superstep("repair") as step:
+                    for wid, region in sorted(invalid.items()):
+                        if not region:
+                            continue
+                        frag = self.fragmented.fragments[wid]
+
+                        def _repair(wid=wid, frag=frag, region=region):
+                            partials[wid] = program.repair_partial(
+                                frag, query, partials[wid], params[wid],
+                                set(region),
+                            )
+                            return params[wid].consume_changes()
+
+                        changes = supervisor.attempt(step, wid, _repair)
+                        if changes:
+                            self._emit(step, wid, changes)
+            if safe:
+                with cluster.superstep("update") as step:
+                    for wid, local_ops in sorted(safe.items()):
+                        frag = self.fragmented.fragments[wid]
+
+                        def _update(wid=wid, frag=frag, ops=local_ops):
+                            partials[wid] = program.on_graph_update(
+                                frag, query, partials[wid], params[wid], ops
+                            )
+                            return params[wid].consume_changes()
+
+                        changes = supervisor.attempt(step, wid, _update)
+                        if changes:
+                            self._emit(step, wid, changes)
 
         self._fixpoint(
             cluster, program, query, params, partials, guard, rounds,
@@ -293,7 +378,117 @@ class GrapeEngine:
                 program_name=program.name,
                 num_fragments=n,
             ),
+            repair=repair,
         )
+
+    def _invalidate(
+        self,
+        cluster: Cluster,
+        program: PIEProgram[Q, P, R],
+        query: Q,
+        partials: list[P],
+        unsafe: dict[int, list],
+        supervisor: Supervisor,
+        repair: DeltaRepairStats,
+    ) -> dict[int, set]:
+        """Close the invalidated region across fragments (BSP fixpoint).
+
+        Each fragment seeds its region from its local unsafe ops, closes
+        it over local value dependencies, and ships border members to
+        every other hosting fragment; receivers expand the region
+        locally and forward any growth. Terminates because regions only
+        grow and are bounded by the hosted vertex sets. Returns
+        fid -> invalidated local vertices.
+        """
+        invalid: dict[int, set] = {wid: set() for wid in unsafe}
+        sent = False
+
+        def _ship(step, wid: int, verts: set) -> bool:
+            by_dst: dict[int, set] = {}
+            for v in verts:
+                for fid in self.fragmented.hosts(v):
+                    if fid != wid:
+                        by_dst.setdefault(fid, set()).add(v)
+            for fid, vs in sorted(by_dst.items()):
+                step.send(wid, fid, {"__invalidate__": sorted(vs, key=repr)})
+            return bool(by_dst)
+
+        with cluster.superstep("invalidate") as step:
+            for wid, ops in sorted(unsafe.items()):
+                frag = self.fragmented.fragments[wid]
+
+                def _seed(wid=wid, frag=frag, ops=ops):
+                    seeds = program.delta_seeds(
+                        frag, query, partials[wid], ops
+                    )
+                    return program.invalidated_region(
+                        frag, query, partials[wid], set(seeds)
+                    )
+
+                region = supervisor.attempt(step, wid, _seed)
+                invalid[wid] |= region
+                sent |= _ship(step, wid, region)
+        repair.invalidation_rounds += 1
+
+        while sent:
+            sent = False
+            with cluster.superstep("invalidate") as step:
+                for wid in range(cluster.num_workers):
+                    messages = cluster.receive(wid)
+                    if not messages:
+                        continue
+                    incoming: set = set()
+                    for msg in messages:
+                        incoming.update(msg.payload.get("__invalidate__", ()))
+                    fresh = incoming - invalid.get(wid, set())
+                    if not fresh:
+                        continue
+                    frag = self.fragmented.fragments[wid]
+
+                    def _expand(wid=wid, frag=frag, fresh=fresh):
+                        return program.invalidated_region(
+                            frag, query, partials[wid], set(fresh)
+                        )
+
+                    region = supervisor.attempt(step, wid, _expand)
+                    grow = region - invalid.setdefault(wid, set())
+                    if not grow:
+                        continue
+                    invalid[wid] |= grow
+                    sent |= _ship(step, wid, grow)
+            repair.invalidation_rounds += 1
+        return invalid
+
+    def _restart_peval(
+        self,
+        cluster: Cluster,
+        program: PIEProgram[Q, P, R],
+        query: Q,
+        params: list[UpdateParams],
+        partials: list[P],
+        supervisor: Supervisor,
+    ) -> None:
+        """Full-recompute fallback: fresh parameter stores + PEval.
+
+        Replaces ``params``/``partials`` in place over the mutated
+        fragments; the caller re-enters the ordinary IncEval fixpoint.
+        """
+        spec = program.param_spec(query)
+        for wid, frag in enumerate(self.fragmented.fragments):
+            store = UpdateParams(spec.aggregator, spec.default)
+            program.declare_params(frag, query, store)
+            params[wid] = store
+        with cluster.superstep("peval") as step:
+            for wid in range(cluster.num_workers):
+                frag = self.fragmented.fragments[wid]
+
+                def _peval(wid=wid, frag=frag):
+                    partials[wid] = program.peval(frag, query, params[wid])
+                    return params[wid].consume_changes()
+
+                changes = supervisor.attempt(step, wid, _peval)
+                if changes:
+                    self._emit(step, wid, changes)
 
     # ------------------------------------------------------------------
     def resume_from_checkpoint(

@@ -1,128 +1,51 @@
-"""Incremental graph updates (ΔG): reuse a fixed point after insertions.
+"""Deprecated shim over :mod:`repro.core.delta`.
 
-The PIE model's IncEval is an incremental algorithm by construction; the
-paper's foundation (Ramalingam–Reps) handles changes to the *graph*, not
-just to border variables. This module extends the engine accordingly,
-for the monotone-safe case of **edge insertions**: under a decreasing
-order (SSSP, BFS, CC), new edges can only improve values, so the old
-fixed point is a valid over-approximation to resume from. Deletions
-would invalidate monotonicity and require recomputation — out of scope,
-as in GRAPE itself.
+The insertion-only ΔG path grew into the unified delta subsystem in
+``repro.core.delta`` (insertions, deletions, weight changes, and
+non-monotone repair). This module keeps the old names importable for
+one release:
 
-Flow:
+* ``EdgeInsertion`` is now an alias of :class:`repro.core.delta.EdgeInsert`;
+* :func:`apply_insertions` wraps :func:`repro.core.delta.apply_delta`;
+* ``EngineState`` is re-exported so pickles that reference
+  ``repro.core.incremental.EngineState`` still load.
 
-1. run a query with ``keep_state=True`` — the result carries the
-   engine's per-fragment partial answers and parameter stores;
-2. :func:`apply_insertions` routes each new edge into the owning
-   fragment(s), creating mirrors/borders as needed;
-3. ``GrapeEngine.run_incremental`` calls each touched fragment's
-   ``program.on_graph_update`` (a per-program hook: repair the partial
-   answer locally, export changed border variables), then re-enters the
-   ordinary IncEval fixpoint and Assemble.
+New code should import from :mod:`repro.core.delta` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Hashable, Sequence
+import warnings
+from typing import Sequence
 
-from repro.errors import ProgramError
-from repro.graph.digraph import Edge
+from repro.core.delta import (
+    EdgeInsert,
+    EngineState,
+    GraphDelta,
+    apply_delta,
+)
 from repro.graph.fragment import FragmentedGraph
 
-VertexId = Hashable
+#: Deprecated alias — use :class:`repro.core.delta.EdgeInsert`.
+EdgeInsertion = EdgeInsert
 
-
-@dataclass(frozen=True)
-class EdgeInsertion:
-    """One new edge; endpoints must already exist in the graph."""
-
-    src: VertexId
-    dst: VertexId
-    weight: float = 1.0
-    label: str | None = None
-
-    def as_edge(self) -> Edge:
-        """This insertion as an :class:`Edge`."""
-        return Edge(self.src, self.dst, self.weight, self.label)
-
-
-@dataclass
-class EngineState:
-    """Resumable engine state captured by ``run(..., keep_state=True)``.
-
-    ``program_name`` and ``num_fragments`` record which program and
-    fragmentation produced the state so ``run_incremental`` can reject a
-    stale or foreign state with a :class:`~repro.errors.StaleStateError`
-    instead of corrupting the fixpoint. Both default to "unknown" so
-    states pickled by older checkpoints still load.
-    """
-
-    partials: list = field(default_factory=list)
-    params: list = field(default_factory=list)
-    #: ``PIEProgram.name`` of the producing program ("" if unknown).
-    program_name: str = ""
-    #: Fragment count of the producing engine (0 if unknown).
-    num_fragments: int = 0
+__all__ = ["EdgeInsertion", "EngineState", "apply_insertions"]
 
 
 def apply_insertions(
     fragmented: FragmentedGraph,
     insertions: Sequence[EdgeInsertion],
 ) -> dict[int, list[EdgeInsertion]]:
-    """Route insertions into fragments, updating border bookkeeping.
+    """Deprecated: route edge insertions into fragments.
 
-    Each edge lands in its source-owner's local graph; a cross-fragment
-    edge creates/extends the mirror of the target and marks the target
-    as inner border at its owner. For undirected graphs the edge also
-    lands at the target's owner (mirrored symmetrically). Returns
-    fragment id -> the insertions that fragment must repair.
-
-    Both endpoints must already be fragment-resident vertices — vertex
-    insertions would need label/property shipment, which the monotone
-    resume cannot need anyway (a new vertex has no prior state).
+    Equivalent to ``apply_delta(fragmented, insertions)`` — see
+    :func:`repro.core.delta.apply_delta` for the unified mixed-batch
+    form that also handles deletions and weight changes.
     """
-    touched: dict[int, list[EdgeInsertion]] = {}
-    for ins in insertions:
-        try:
-            src_fid = fragmented.owner_of(ins.src)
-            dst_fid = fragmented.owner_of(ins.dst)
-        except Exception as exc:  # PartitionError: unknown endpoint
-            raise ProgramError(
-                f"insertion {ins.src!r}->{ins.dst!r} references an "
-                "unknown vertex"
-            ) from exc
-        src_frag = fragmented.fragments[src_fid]
-        dst_frag = fragmented.fragments[dst_fid]
-        directed = src_frag.graph.directed
-
-        if not src_frag.graph.has_vertex(ins.dst):
-            src_frag.graph.add_vertex(
-                ins.dst,
-                dst_frag.graph.vertex_label(ins.dst),
-                **dst_frag.graph.vertex_props(ins.dst),
-            )
-        src_frag.graph.add_edge(ins.src, ins.dst, ins.weight, ins.label)
-        touched.setdefault(src_fid, []).append(ins)
-        if dst_fid != src_fid:
-            src_frag.mirrors[ins.dst] = dst_fid
-            dst_frag.inner_border.add(ins.dst)
-            fragmented.known_by.setdefault(ins.dst, set()).add(src_fid)
-            # The target's owner is also touched: programs with
-            # undirected semantics (CC) must export the target's current
-            # value so the merge can flow back across the new edge.
-            touched.setdefault(dst_fid, []).append(ins)
-            if not directed:
-                if not dst_frag.graph.has_vertex(ins.src):
-                    dst_frag.graph.add_vertex(
-                        ins.src,
-                        src_frag.graph.vertex_label(ins.src),
-                        **src_frag.graph.vertex_props(ins.src),
-                    )
-                dst_frag.graph.add_edge(
-                    ins.dst, ins.src, ins.weight, ins.label
-                )
-                dst_frag.mirrors[ins.src] = src_fid
-                src_frag.inner_border.add(ins.src)
-                fragmented.known_by.setdefault(ins.src, set()).add(dst_fid)
-    return touched
+    warnings.warn(
+        "repro.core.incremental.apply_insertions is deprecated; use "
+        "repro.core.delta.apply_delta",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return apply_delta(fragmented, GraphDelta.coerce(list(insertions)))

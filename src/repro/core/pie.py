@@ -110,18 +110,100 @@ class PIEProgram(abc.ABC, Generic[Q, P, R]):
         query: Q,
         partial: P,
         params: UpdateParams,
-        insertions: Sequence,
+        delta: Sequence,
     ) -> P:
-        """Repair the partial answer after local edge insertions (ΔG).
+        """Repair the partial answer after monotone-safe delta ops (ΔG).
 
         Optional hook used by ``GrapeEngine.run_incremental``: the
-        fragment's local graph already contains the new edges; the
+        fragment's local graph already reflects the ops in ``delta``
+        (each has a ``kind`` of "insert", "delete" or "reweight" — only
+        ops the program classified as monotone-safe arrive here); the
         program updates its partial answer and exports changed border
         variables, exactly as IncEval would. Programs without incremental
         graph-update support simply don't override this.
         """
         raise NotImplementedError(
             f"{self.name} does not support incremental graph updates"
+        )
+
+    # ------------------------------------------------------------------
+    # Non-monotone repair hooks (deletions / order-breaking reweights)
+    # ------------------------------------------------------------------
+    def classify_update(self, query: Q, op) -> bool:
+        """Whether a delta op is monotone-safe for this program.
+
+        Safe ops can only move values along the declared partial order,
+        so the old fixed point remains a valid starting point and
+        :meth:`on_graph_update` repairs them directly. Unsafe ops route
+        through the engine's invalidate-and-recompute path. The default
+        suits decreasing orders (SSSP/BFS/CC): insertions are safe,
+        deletions are not, and a reweight is safe only when it is a
+        known weight decrease. Programs with the opposite natural
+        direction (k-core: deletions only shrink cores) override this.
+        """
+        if op.kind == "insert":
+            return True
+        if op.kind == "reweight":
+            return op.old_weight is not None and op.weight <= op.old_weight
+        return False
+
+    def delta_seeds(self, fragment: Fragment, query: Q, partial: P, ops) -> set:
+        """Local vertices whose value may have *depended* on unsafe ops.
+
+        The starting frontier of the invalidated region. Programs
+        supporting non-monotone repair override this (typically: the
+        target endpoint of each deleted/reweighted edge, when it is a
+        local vertex or still carries a stale partial entry).
+        """
+        raise NotImplementedError(
+            f"{self.name} does not support deletions or non-monotone "
+            "graph updates (no delta_seeds/repair_partial)"
+        )
+
+    def invalidated_region(
+        self, fragment: Fragment, query: Q, partial: P, seeds: set
+    ) -> set:
+        """Close ``seeds`` over local value dependencies.
+
+        Everything whose partial value may transitively derive from a
+        seed must be reset before repair. The default takes the forward
+        (out-edge) closure within the local graph — correct for
+        traversal-style programs where values propagate along edges;
+        programs with coarser dependencies (CC label regions, k-core
+        components) override it. Seeds no longer present in the local
+        graph (e.g. a pruned mirror) stay in the region so their stale
+        partial entries are discarded too.
+        """
+        region = set(seeds)
+        stack = [v for v in seeds if fragment.graph.has_vertex(v)]
+        while stack:
+            u = stack.pop()
+            for v in fragment.graph.neighbors(u):
+                if v not in region:
+                    region.add(v)
+                    stack.append(v)
+        return region
+
+    def repair_partial(
+        self,
+        fragment: Fragment,
+        query: Q,
+        partial: P,
+        params: UpdateParams,
+        region: set,
+    ) -> P:
+        """Scoped PEval-style re-derivation of an invalidated region.
+
+        Called after the engine has reset the region's update parameters
+        to the order's default (⊤): recompute the region's partial
+        values from scratch using only values *outside* the region (and
+        the query) as boundary conditions, publishing re-derived border
+        values through ``params``. The ordinary IncEval fixpoint runs
+        afterwards, so the repair only needs local correctness.
+        """
+        raise NotImplementedError(
+            f"{self.name} does not support deletions or non-monotone "
+            "graph updates (no delta_seeds/repair_partial)"
         )
 
     def __repr__(self) -> str:

@@ -131,6 +131,27 @@ class UpdateParams:
             return False
         return self.set(v, resolved)
 
+    def reset(self, vertices: Iterable[VertexId]) -> int:
+        """Reset declared variables back to the default (the order's ⊤).
+
+        Non-monotone repair cannot trust values that depended on a
+        deleted edge, so the engine resets the invalidated region before
+        re-deriving it. Resets bypass the monotonicity observer (they
+        move *against* the partial order by design) and clear any
+        pending change mark — the repair republishes whatever it
+        re-derives. Returns how many variables actually changed.
+        """
+        count = 0
+        for v in vertices:
+            if v not in self._declared and v not in self._values:
+                continue
+            old = self._values.get(v, self.default)
+            self._values[v] = self.default
+            self._changed.discard(v)
+            if old != self.default:
+                count += 1
+        return count
+
     # ------------------------------------------------------------------
     # Message protocol (used by the engine)
     # ------------------------------------------------------------------

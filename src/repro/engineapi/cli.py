@@ -55,7 +55,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.query == "pagerank":
         program_kwargs["total_vertices"] = graph.num_vertices
     program = get_program(args.query, **program_kwargs)
-    result = session.run(program, query)
+    repair = None
+    if args.updates:
+        from repro.core.delta import GraphDelta
+
+        try:
+            with open(args.updates, encoding="utf-8") as fh:
+                delta = GraphDelta.from_dict(json.load(fh))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise GrapeError(f"cannot read updates file {args.updates}: {exc}")
+        cold = session.run(program, query, keep_state=True)
+        result = session.engine().run_incremental(
+            program, query, cold.state, delta
+        )
+        repair = result.repair
+    else:
+        result = session.run(program, query)
     if args.json:
         payload = {
             "query": args.query,
@@ -71,9 +86,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 for r in result.rounds
             ],
         }
+        if repair is not None:
+            payload["repair"] = repair.as_dict()
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(format_report(result, title=f"{args.query} on {args.graph}"))
+        if repair is not None:
+            print(
+                f"delta repair: mode={repair.mode} "
+                f"safe_ops={repair.safe_ops} unsafe_ops={repair.unsafe_ops} "
+                f"invalidated={repair.invalidated} resets={repair.resets} "
+                f"rounds={repair.invalidation_rounds}"
+            )
     return 0
 
 
@@ -266,6 +290,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--source", type=int, default=None)
     run.add_argument("--keywords", default=None)
     run.add_argument("--check-monotonic", action="store_true")
+    run.add_argument(
+        "--updates", default=None, metavar="FILE.json",
+        help="after a cold run, apply this ΔG batch "
+             '({"insert": [[src,dst,w?]...], "delete": [[src,dst]...], '
+             '"reweight": [[src,dst,w]...]}) and repair incrementally',
+    )
     run.add_argument(
         "--json", action="store_true",
         help="emit run metrics as JSON (RunMetrics.as_dict schema)",

@@ -116,6 +116,127 @@ class FragmentedGraph:
         """All fragment ids holding a copy (owner + mirrors)."""
         return self.known_by.get(v, set())
 
+    # ------------------------------------------------------------------
+    # Delta application (ΔG): one edge at a time, with border/mirror
+    # bookkeeping for removals as well as additions. The batch-level
+    # entry point is :func:`repro.core.delta.apply_delta`.
+    # ------------------------------------------------------------------
+    def insert_edge(
+        self,
+        src: VertexId,
+        dst: VertexId,
+        weight: float = 1.0,
+        label: str | None = None,
+    ) -> list[int]:
+        """Insert one edge; returns the fragment ids that must repair.
+
+        The edge lands in its source-owner's local graph; a cross-fragment
+        edge creates/extends the mirror of the target and marks the target
+        as inner border at its owner (which is therefore also touched —
+        programs with undirected semantics must export the target's value
+        back across the new edge). Undirected graphs mirror symmetrically.
+        """
+        src_fid = self.owner_of(src)
+        dst_fid = self.owner_of(dst)
+        src_frag = self.fragments[src_fid]
+        dst_frag = self.fragments[dst_fid]
+        directed = src_frag.graph.directed
+
+        if not src_frag.graph.has_vertex(dst):
+            src_frag.graph.add_vertex(
+                dst,
+                dst_frag.graph.vertex_label(dst),
+                **dst_frag.graph.vertex_props(dst),
+            )
+        src_frag.graph.add_edge(src, dst, weight, label)
+        touched = [src_fid]
+        if dst_fid != src_fid:
+            src_frag.mirrors[dst] = dst_fid
+            dst_frag.inner_border.add(dst)
+            self.known_by.setdefault(dst, set()).add(src_fid)
+            touched.append(dst_fid)
+            if not directed:
+                if not dst_frag.graph.has_vertex(src):
+                    dst_frag.graph.add_vertex(
+                        src,
+                        src_frag.graph.vertex_label(src),
+                        **src_frag.graph.vertex_props(src),
+                    )
+                dst_frag.graph.add_edge(dst, src, weight, label)
+                dst_frag.mirrors[src] = src_fid
+                src_frag.inner_border.add(src)
+                self.known_by.setdefault(src, set()).add(dst_fid)
+        return touched
+
+    def delete_edge(self, src: VertexId, dst: VertexId) -> list[int]:
+        """Remove one edge; returns the fragment ids that must repair.
+
+        The inverse of :meth:`insert_edge`: the edge leaves the
+        source-owner's local graph; when the removal strands a mirror
+        (no local edge references it anymore) the mirror copy is dropped,
+        ``known_by`` shrinks, and the owner's ``inner_border`` entry is
+        retired once *no* fragment mirrors the vertex. The target's owner
+        is always touched — in a directed graph the target's value may
+        have depended on the deleted edge even though its own fragment
+        never stored it.
+        """
+        src_fid = self.owner_of(src)
+        dst_fid = self.owner_of(dst)
+        src_frag = self.fragments[src_fid]
+        dst_frag = self.fragments[dst_fid]
+        directed = src_frag.graph.directed
+
+        src_frag.graph.remove_edge(src, dst)  # GraphError if absent
+        touched = [src_fid]
+        if dst_fid != src_fid:
+            touched.append(dst_fid)
+            self._prune_mirror(src_frag, dst)
+            if not directed:
+                dst_frag.graph.remove_edge(dst, src)
+                self._prune_mirror(dst_frag, src)
+        return touched
+
+    def reweight_edge(
+        self, src: VertexId, dst: VertexId, weight: float
+    ) -> tuple[list[int], float]:
+        """Change one edge's weight; returns (touched fids, old weight).
+
+        No border bookkeeping changes — the edge's endpoints keep their
+        copies — but the target's owner is still touched so non-monotone
+        repair can invalidate values that depended on the old weight.
+        """
+        src_fid = self.owner_of(src)
+        dst_fid = self.owner_of(dst)
+        src_frag = self.fragments[src_fid]
+        dst_frag = self.fragments[dst_fid]
+        directed = src_frag.graph.directed
+
+        old = src_frag.graph.edge_weight(src, dst)  # GraphError if absent
+        label = src_frag.graph.edge_label(src, dst)
+        src_frag.graph.add_edge(src, dst, weight, label)
+        touched = [src_fid]
+        if dst_fid != src_fid:
+            touched.append(dst_fid)
+            if not directed:
+                dst_frag.graph.add_edge(dst, src, weight, label)
+        return touched, old
+
+    def _prune_mirror(self, frag: Fragment, v: VertexId) -> None:
+        """Drop ``frag``'s mirror of ``v`` if no local edge references it."""
+        if v not in frag.mirrors:
+            return
+        g = frag.graph
+        if v in g and (g.out_degree(v) or g.in_degree(v)):
+            return  # still referenced by another local edge
+        owner = frag.mirrors.pop(v)
+        if v in g:
+            g.remove_vertex(v)
+        hosts = self.known_by.get(v)
+        if hosts is not None:
+            hosts.discard(frag.fid)
+        if not any(v in f.mirrors for f in self.fragments):
+            self.fragments[owner].inner_border.discard(v)
+
     def cross_edges(self) -> int:
         """Number of edges whose endpoints live on different fragments."""
         total = 0

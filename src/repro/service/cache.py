@@ -67,6 +67,11 @@ class CacheEntry:
     stored_at: float
     #: Simulated cost of the engine run that produced the answer.
     cost: float
+    #: Original query params (needed to re-run the query when the entry
+    #: is selected for re-warming after a version bump); None = unknown.
+    params: dict | None = None
+    #: Lookup hits served by this entry (re-warm hotness signal).
+    hits: int = 0
 
 
 @dataclass
@@ -114,9 +119,14 @@ class ResultCache:
         self.ttl = ttl
         self.stats = CacheStats()
         self._entries: OrderedDict[tuple, CacheEntry] = OrderedDict()
+        self._last_invalidated: list[CacheEntry] = []
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def contains(self, key: tuple) -> bool:
+        """Whether ``key`` is present (no stats or LRU side effects)."""
+        return key in self._entries
 
     # ------------------------------------------------------------------
     def get(self, key: tuple, now: float) -> CacheEntry | None:
@@ -132,6 +142,7 @@ class ResultCache:
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        entry.hits += 1
         return entry
 
     def put(self, key: tuple, entry: CacheEntry) -> None:
@@ -147,17 +158,35 @@ class ResultCache:
 
         Called by the service right after a mutation batch bumps the
         version: the keys could never match again, so holding them would
-        only displace live entries.
+        only displace live entries. The dropped entries are stashed so
+        :meth:`hottest_invalidated` can pick re-warm candidates.
         """
         stale = [
             key
             for key, entry in self._entries.items()
             if entry.version < version
         ]
+        self._last_invalidated = [self._entries[key] for key in stale]
         for key in stale:
             del self._entries[key]
         self.stats.invalidated += len(stale)
         return len(stale)
+
+    def hottest_invalidated(self, n: int | None = None) -> list[CacheEntry]:
+        """The most-hit entries dropped by the last invalidation.
+
+        Only entries that recorded their query params (and at least one
+        hit — cold entries are not worth pre-paying for) qualify; ties
+        break toward most recently used (insertion order is LRU order).
+        ``n`` caps the list (None = all qualifying entries).
+        """
+        candidates = [
+            entry
+            for entry in self._last_invalidated
+            if entry.params is not None and entry.hits > 0
+        ]
+        candidates.sort(key=lambda entry: entry.hits, reverse=True)
+        return candidates if n is None else candidates[:n]
 
     def clear(self) -> None:
         """Drop everything (stats are kept)."""

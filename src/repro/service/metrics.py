@@ -141,9 +141,19 @@ class UpdateStats:
 
     batches: int = 0
     edges: int = 0
+    deletes: int = 0
+    reweights: int = 0
+    #: Evicted hot cache entries recomputed eagerly at the new version.
+    rewarmed: int = 0
 
     def as_dict(self) -> dict:
-        return {"batches": self.batches, "edges": self.edges}
+        return {
+            "batches": self.batches,
+            "edges": self.edges,
+            "deletes": self.deletes,
+            "reweights": self.reweights,
+            "rewarmed": self.rewarmed,
+        }
 
 
 @dataclass

@@ -11,11 +11,13 @@ front of :class:`~repro.core.engine.GrapeEngine`:
   queries at an unchanged version are answered from a
   :class:`~repro.service.cache.ResultCache` in O(1);
 * **standing queries** registered once are kept warm across mutations:
-  ``apply_updates`` routes an edge-insertion batch into the fragments
-  *once*, bumps the version, invalidates the cache, and repairs every
-  registered answer with ``run_incremental`` — the paper's bounded
-  IncEval surfaced as a serving feature — then re-seeds the cache at
-  the new version with the repaired answers.
+  ``apply_updates`` routes a mixed ΔG batch (insertions, deletions,
+  weight changes) into the fragments *once*, bumps the version,
+  invalidates the cache, and repairs every registered answer with
+  ``run_incremental`` — monotone resume for safe ops, scoped
+  non-monotone repair for the rest — then re-seeds the cache at the new
+  version with the repaired answers and optionally re-warms the
+  hottest evicted entries (``rewarm_hottest``).
 
 Consistency model: queries observe the graph version they were admitted
 under; ``apply_updates`` therefore drains the queue before mutating (the
@@ -28,11 +30,16 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
-from repro.core.incremental import EdgeInsertion, apply_insertions
+from repro.core.delta import (
+    EdgeDelete,
+    EdgeReweight,
+    GraphDelta,
+    apply_delta,
+)
 from repro.engineapi.query import build_query
 from repro.engineapi.registry import get_program
 from repro.engineapi.session import Session
-from repro.errors import ServiceError
+from repro.errors import GraphError, ProgramError, ServiceError
 from repro.service.cache import (
     CacheEntry,
     ResultCache,
@@ -110,6 +117,12 @@ class UpdateOutcome:
     edges: int
     #: Cache entries dropped because their version is now stale.
     invalidated: int
+    #: Deletion ops in the batch.
+    deletes: int = 0
+    #: Reweight ops in the batch.
+    reweights: int = 0
+    #: Hot evicted entries recomputed eagerly at the new version.
+    rewarmed: int = 0
     #: Results of queries drained before the mutation (seq -> result).
     drained: dict[int, ServedResult] = field(default_factory=dict)
     #: Standing-query name -> repaired answer.
@@ -129,6 +142,9 @@ class GrapeService:
         cache_capacity: result-cache entry bound (LRU beyond it).
         cache_ttl: result lifetime in simulated seconds (None = no TTL).
         hit_cost: simulated seconds charged for a cache hit.
+        rewarm_hottest: after every mutation batch, re-run (and
+            re-cache) up to this many of the hottest invalidated cache
+            entries so repeat clients stay on the hit path (0 = off).
         program_kwargs: per-query-class constructor kwargs (e.g.
             ``{"pagerank": {"total_vertices": n}}``); pagerank's
             ``total_vertices`` is defaulted from the graph automatically.
@@ -142,6 +158,7 @@ class GrapeService:
         cache_capacity: int = 256,
         cache_ttl: float | None = None,
         hit_cost: float = 1e-4,
+        rewarm_hottest: int = 0,
         program_kwargs: dict[str, dict] | None = None,
     ) -> None:
         self.session = session
@@ -150,6 +167,11 @@ class GrapeService:
         self._lanes = LaneClock(concurrency=concurrency)
         self._cache = ResultCache(capacity=cache_capacity, ttl=cache_ttl)
         self._hit_cost = hit_cost
+        if rewarm_hottest < 0:
+            raise ServiceError(
+                f"rewarm_hottest must be >= 0, got {rewarm_hottest}"
+            )
+        self._rewarm_hottest = rewarm_hottest
         self._program_kwargs = dict(program_kwargs or {})
         self._version = 1
         self._clock = 0.0
@@ -287,6 +309,7 @@ class GrapeService:
                     query_class=request.query_class,
                     stored_at=self._clock,
                     cost=cost,
+                    params=dict(request.params),
                 ),
             )
         return result.answer, cost, False
@@ -305,7 +328,8 @@ class GrapeService:
         Runs it cold once with ``keep_state=True`` and returns the
         answer; every later ``apply_updates`` batch repairs it through
         ``run_incremental``. The program must implement
-        ``on_graph_update`` (sssp, bfs and cc do).
+        ``on_graph_update`` (sssp, bfs, cc and kcore do; kcore also
+        handles the non-monotone insertion arm via ``repair_partial``).
         """
         if name in self._standing:
             raise ServiceError(f"standing query {name!r} already registered")
@@ -373,6 +397,7 @@ class GrapeService:
                 query_class=standing.query_class,
                 stored_at=self._clock,
                 cost=cost,
+                params=dict(standing.params),
             ),
         )
 
@@ -380,30 +405,39 @@ class GrapeService:
     # Mutation path
     # ------------------------------------------------------------------
     def apply_updates(
-        self, edges, verify: bool = False
+        self,
+        edges=(),
+        verify: bool = False,
+        deletes=(),
+        reweights=(),
     ) -> UpdateOutcome:
-        """Apply one batch of edge insertions; repair standing answers.
+        """Apply one mixed ΔG batch; repair standing answers.
 
-        ``edges`` is a sequence of :class:`EdgeInsertion` or
-        ``(src, dst[, weight[, label]])`` tuples. The batch is routed
-        into the fragments exactly once; every standing query is then
-        repaired via ``run_incremental`` on the shared routing. With
+        ``edges`` holds insertions (:class:`EdgeInsert`,
+        ``(src, dst[, weight[, label]])`` tuples, or any tagged delta-op
+        form), ``deletes`` holds ``(src, dst)`` pairs or
+        :class:`EdgeDelete`, and ``reweights`` holds
+        ``(src, dst, weight)`` triples or :class:`EdgeReweight`. The
+        batch is routed into the fragments exactly once; every standing
+        query is then repaired via ``run_incremental`` on the shared
+        routing — its program decides per op whether to resume
+        monotonically or enter the non-monotone repair path. With
         ``verify=True`` each repaired answer is audited against a fresh
         full recomputation (byte-identical or the report flags a
         mismatch) — the audit runs off the service clock.
         """
-        insertions = [self._as_insertion(e) for e in edges]
+        delta = self._as_delta(edges, deletes, reweights)
         drained = self.drain()  # pending queries observe their version
-        for ins in insertions:
-            self.session.graph.add_edge(ins.src, ins.dst, ins.weight,
-                                        ins.label)
-        touched = apply_insertions(self.session.fragmented, insertions)
+        self._mutate_graph(delta)
+        touched = apply_delta(self.session.fragmented, delta)
         self._version += 1
         invalidated = self._cache.invalidate_before(self._version)
         outcome = UpdateOutcome(
             version=self._version,
-            edges=len(insertions),
+            edges=delta.inserts,
             invalidated=invalidated,
+            deletes=delta.deletes,
+            reweights=delta.reweights,
             drained=drained,
         )
         for name in sorted(self._standing):
@@ -413,7 +447,7 @@ class GrapeService:
                 standing.program,
                 standing.query,
                 standing.state,
-                insertions,
+                delta,
                 touched=touched,
             )
             standing.state = result.state
@@ -430,9 +464,59 @@ class GrapeService:
             outcome.repaired[name] = result.answer
             if verify:
                 outcome.verified[name] = self._verify_standing(standing)
+        outcome.rewarmed = self._rewarm()
         self._updates.batches += 1
-        self._updates.edges += len(insertions)
+        self._updates.edges += delta.inserts
+        self._updates.deletes += delta.deletes
+        self._updates.reweights += delta.reweights
+        self._updates.rewarmed += outcome.rewarmed
         return outcome
+
+    def _mutate_graph(self, delta: GraphDelta) -> None:
+        """Mirror the delta onto the session's master graph."""
+        graph = self.session.graph
+        for op in delta:
+            try:
+                if op.kind == "insert":
+                    graph.add_edge(op.src, op.dst, op.weight, op.label)
+                elif op.kind == "delete":
+                    graph.remove_edge(op.src, op.dst)
+                else:
+                    label = (
+                        graph.edge_label(op.src, op.dst)
+                        if graph.has_edge(op.src, op.dst)
+                        else None
+                    )
+                    graph.add_edge(op.src, op.dst, op.weight, label)
+            except GraphError as exc:
+                raise ProgramError(
+                    f"cannot apply delta op {op.kind} "
+                    f"{op.src!r}->{op.dst!r}: {exc}"
+                ) from exc
+
+    def _rewarm(self) -> int:
+        """Recompute the hottest invalidated entries at the new version.
+
+        Evicted-entry hotness (lookup hits) picks the queries repeat
+        clients are most likely to ask again; each re-runs through the
+        ordinary query path and lands back in the cache so the next
+        lookup hits. Entries the standing-query repair already re-seeded
+        don't need (and don't consume) a re-warm slot — the budget is
+        ``rewarm_hottest`` *recomputations*, walked in hotness order.
+        """
+        rewarmed = 0
+        for entry in self._cache.hottest_invalidated():
+            if rewarmed >= self._rewarm_hottest:
+                break
+            try:
+                key = cache_key(self._version, entry.query_class, entry.params)
+            except Uncacheable:
+                continue
+            if self._cache.contains(key):
+                continue
+            self.query(entry.query_class, entry.params, client="rewarm")
+            rewarmed += 1
+        return rewarmed
 
     def _verify_standing(self, standing: StandingQuery) -> bool:
         """Audit one standing answer against a fresh full run."""
@@ -453,14 +537,24 @@ class GrapeService:
         return identical
 
     @staticmethod
-    def _as_insertion(edge) -> EdgeInsertion:
-        if isinstance(edge, EdgeInsertion):
-            return edge
-        src, dst, *rest = edge
-        weight = float(rest[0]) if len(rest) > 0 and rest[0] is not None \
-            else 1.0
-        label = rest[1] if len(rest) > 1 else None
-        return EdgeInsertion(src=src, dst=dst, weight=weight, label=label)
+    def _as_delta(edges, deletes, reweights) -> GraphDelta:
+        """One mixed :class:`GraphDelta` from the three op sequences."""
+        ops = list(GraphDelta.coerce(list(edges)).ops)
+        for item in deletes:
+            if isinstance(item, EdgeDelete):
+                ops.append(item)
+            else:
+                src, dst, *_ = item
+                ops.append(EdgeDelete(src=src, dst=dst))
+        for item in reweights:
+            if isinstance(item, EdgeReweight):
+                ops.append(item)
+            else:
+                src, dst, weight, *_ = item
+                ops.append(
+                    EdgeReweight(src=src, dst=dst, weight=float(weight))
+                )
+        return GraphDelta(ops=tuple(ops))
 
     # ------------------------------------------------------------------
     # Reporting

@@ -14,9 +14,14 @@ A trace is one JSON object::
         {"op": "query", "class": "sssp", "params": {"source": 0},
          "client": "c1", "priority": 2, "repeat": 3},
         {"op": "drain"},
-        {"op": "update", "edges": [[0, 57, 0.5]], "verify": true}
+        {"op": "update", "edges": [[0, 57, 0.5]],
+         "deletes": [[3, 4]], "reweights": [[5, 6, 2.5]],
+         "verify": true}
       ]
     }
+
+An update op carries any mix of ``edges`` (insertions), ``deletes``
+and ``reweights`` — at least one must be non-empty.
 
 ``replay_trace`` drives a :class:`~repro.service.service.GrapeService`
 through the ops and returns the service plus its final report. Shed
@@ -57,8 +62,13 @@ def load_trace(path: str) -> dict:
             )
         if kind == "query" and "class" not in op:
             raise GrapeError(f"trace query op #{idx} needs a 'class'")
-        if kind == "update" and not op.get("edges"):
-            raise GrapeError(f"trace update op #{idx} needs 'edges'")
+        if kind == "update" and not (
+            op.get("edges") or op.get("deletes") or op.get("reweights")
+        ):
+            raise GrapeError(
+                f"trace update op #{idx} needs at least one of "
+                "'edges', 'deletes' or 'reweights'"
+            )
     return trace
 
 
@@ -84,6 +94,7 @@ def build_service(trace: dict, graph_spec: str | None = None) -> GrapeService:
         concurrency=int(knobs.get("concurrency", 2)),
         cache_capacity=int(knobs.get("cache_capacity", 256)),
         cache_ttl=knobs.get("cache_ttl"),
+        rewarm_hottest=int(knobs.get("rewarm_hottest", 0)),
     )
 
 
@@ -132,8 +143,10 @@ def replay_trace(
             if max_queries is not None and queries_sent >= max_queries:
                 continue
             service.apply_updates(
-                op["edges"],
+                op.get("edges", ()),
                 verify=op.get("verify", True) if verify is None else verify,
+                deletes=op.get("deletes", ()),
+                reweights=op.get("reweights", ()),
             )
     service.drain()
     return service, service.report()

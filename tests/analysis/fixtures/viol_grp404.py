@@ -1,0 +1,35 @@
+"""Fixture: GRP404 — ΔG hook with no deletion arm anywhere."""
+
+from repro.core.aggregators import MIN
+from repro.core.pie import ParamSpec, PIEProgram
+
+
+class InsertOnlyProgram(PIEProgram):
+    name = "fixture-grp404"
+
+    def param_spec(self, query):
+        return ParamSpec(aggregator=MIN, default=None)
+
+    def peval(self, fragment, query, params):
+        dist = {}
+        for v in fragment.border:
+            params.improve(v, dist.get(v, 0))
+        return dist
+
+    def inceval(self, fragment, query, partial, params, changed):
+        for v in changed:
+            params.improve(v, partial.get(v, 0))
+        return partial
+
+    def on_graph_update(self, fragment, query, partial, params, delta):
+        # Only insertions are folded in; no repair_partial, no
+        # classify_update, no delete branch: a deletion would raise.
+        for op in delta:
+            partial[op.dst] = min(partial.get(op.dst, 0), 0)
+        return partial
+
+    def assemble(self, query, partials):
+        out = {}
+        for partial in partials:
+            out.update(partial)
+        return out

@@ -1,0 +1,241 @@
+"""Unit tests for the unified ΔG subsystem (``repro.core.delta``):
+batch coercion, routing semantics (weight fill-in, insert-of-existing
+reclassification, duplicate-edge ban), mirror pruning on deletion, the
+deprecated ``repro.core.incremental`` shim, EngineState pickle
+back-compat, and the repair-mode ladder (monotone/scoped/full)."""
+
+import pickle
+import warnings
+
+import pytest
+
+from repro.algorithms.sssp import SSSPProgram, SSSPQuery
+from repro.core.delta import (
+    DeltaRepairStats,
+    EdgeDelete,
+    EdgeInsert,
+    EdgeReweight,
+    EngineState,
+    GraphDelta,
+    apply_delta,
+)
+from repro.core.engine import GrapeEngine
+from repro.errors import ProgramError
+from repro.graph.digraph import Graph
+from repro.graph.fragment import build_fragments
+
+
+def _line_graph(n=6, weight=1.0):
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    for v in range(n - 1):
+        g.add_edge(v, v + 1, weight)
+    return g
+
+
+# ------------------------------------------------------------- coercion
+def test_coerce_accepts_all_tuple_forms():
+    delta = GraphDelta.coerce(
+        [
+            (0, 1),  # bare pair: historical insert form
+            (1, 2, 3.5, "road"),  # with weight and label
+            ("insert", 2, 3, 0.5),
+            ("delete", 3, 4),
+            ("reweight", 4, 5, 9.0),
+            EdgeDelete(5, 6),
+        ]
+    )
+    assert [op.kind for op in delta] == [
+        "insert", "insert", "insert", "delete", "reweight", "delete",
+    ]
+    assert delta.ops[0] == EdgeInsert(0, 1, 1.0)
+    assert delta.ops[1] == EdgeInsert(1, 2, 3.5, "road")
+    assert (delta.inserts, delta.deletes, delta.reweights) == (3, 2, 1)
+    assert len(delta) == 6 and bool(delta)
+
+
+def test_coerce_passthrough_none_and_delta():
+    empty = GraphDelta.coerce(None)
+    assert len(empty) == 0 and not empty
+    delta = GraphDelta(ops=(EdgeInsert(0, 1),))
+    assert GraphDelta.coerce(delta) is delta
+
+
+@pytest.mark.parametrize(
+    "bad", [object(), [("reweight", 0, 1)], [("delete", 0, 1, 2, 3)], [42]]
+)
+def test_coerce_rejects_malformed(bad):
+    with pytest.raises(ProgramError):
+        GraphDelta.coerce(bad)
+
+
+def test_from_dict_json_form():
+    delta = GraphDelta.from_dict(
+        {
+            "insert": [[0, 1, 2.0], [1, 2]],
+            "delete": [[2, 3]],
+            "reweight": [[3, 4, 7.5]],
+        }
+    )
+    assert (delta.inserts, delta.deletes, delta.reweights) == (2, 1, 1)
+    assert delta.ops[2] == EdgeDelete(2, 3)
+    assert delta.ops[3] == EdgeReweight(3, 4, 7.5)
+    assert len(GraphDelta.from_dict({})) == 0
+
+
+# -------------------------------------------------------------- routing
+def test_delete_records_removed_weight():
+    g = _line_graph(3, weight=4.0)
+    fragd = build_fragments(g, {0: 0, 1: 0, 2: 0}, 1)
+    touched = apply_delta(fragd, [("delete", 0, 1)])
+    (op,) = touched[0]
+    assert op == EdgeDelete(0, 1, weight=4.0)
+    assert not fragd.fragments[0].graph.has_edge(0, 1)
+
+
+def test_reweight_records_old_weight():
+    g = _line_graph(3, weight=4.0)
+    fragd = build_fragments(g, {0: 0, 1: 0, 2: 0}, 1)
+    touched = apply_delta(fragd, [("reweight", 1, 2, 0.5)])
+    (op,) = touched[0]
+    assert op == EdgeReweight(1, 2, 0.5, old_weight=4.0)
+    assert fragd.fragments[0].graph.edge_weight(1, 2) == 0.5
+
+
+def test_insert_of_existing_edge_becomes_reweight():
+    g = _line_graph(3, weight=1.0)
+    fragd = build_fragments(g, {0: 0, 1: 0, 2: 0}, 1)
+    touched = apply_delta(fragd, [EdgeInsert(0, 1, 9.0)])
+    (op,) = touched[0]
+    # A weight *increase* must not masquerade as a monotone-safe insert.
+    assert op == EdgeReweight(0, 1, 9.0, old_weight=1.0)
+    assert fragd.fragments[0].graph.edge_weight(0, 1) == 9.0
+
+
+def test_duplicate_edge_reference_rejected():
+    g = _line_graph(3)
+    fragd = build_fragments(g, {0: 0, 1: 0, 2: 0}, 1)
+    with pytest.raises(ProgramError, match="more than once"):
+        apply_delta(fragd, [("delete", 0, 1), ("insert", 0, 1, 2.0)])
+
+
+def test_unknown_vertex_rejected():
+    g = _line_graph(2)
+    fragd = build_fragments(g, {0: 0, 1: 0}, 1)
+    with pytest.raises(ProgramError, match="unknown vertex"):
+        apply_delta(fragd, [("delete", 99, 0)])
+
+
+def test_delete_of_absent_edge_rejected():
+    g = _line_graph(3)
+    fragd = build_fragments(g, {0: 0, 1: 0, 2: 0}, 1)
+    with pytest.raises(ProgramError):
+        apply_delta(fragd, [("delete", 2, 0)])
+
+
+def test_cross_fragment_delete_prunes_stranded_mirror():
+    g = Graph()
+    for v in range(3):
+        g.add_vertex(v)
+    g.add_edge(0, 2)  # cross edge: fragment 0 mirrors vertex 2
+    g.add_edge(1, 2)
+    fragd = build_fragments(g, {0: 0, 1: 0, 2: 1}, 2)
+    assert fragd.fragments[0].mirrors == {2: 1}
+    touched = apply_delta(fragd, [("delete", 0, 2)])
+    assert set(touched) == {0, 1}  # dst owner notified for border upkeep
+    assert fragd.fragments[0].mirrors == {2: 1}  # 1->2 still references it
+    apply_delta(fragd, [("delete", 1, 2)])
+    assert fragd.fragments[0].mirrors == {}  # stranded mirror dropped
+    assert fragd.hosts(2) == {1}
+
+
+# ----------------------------------------------------------------- shim
+def test_incremental_shim_aliases_and_warns():
+    from repro.core import incremental
+
+    assert incremental.EdgeInsertion is EdgeInsert
+    assert incremental.EngineState is EngineState
+    g = _line_graph(3)
+    fragd = build_fragments(g, {0: 0, 1: 0, 2: 0}, 1)
+    with pytest.warns(DeprecationWarning, match="apply_delta"):
+        touched = incremental.apply_insertions(
+            fragd, [incremental.EdgeInsertion(2, 0, 2.0)]
+        )
+    assert touched == {0: [EdgeInsert(2, 0, 2.0)]}
+
+
+# --------------------------------------------------- pickle back-compat
+def test_engine_state_pickle_roundtrip():
+    state = EngineState(
+        partials=[{0: 0.0}], params=[{}], program_name="sssp",
+        num_fragments=1,
+    )
+    clone = pickle.loads(pickle.dumps(state))
+    assert clone == state
+
+
+def test_engine_state_loads_pre_provenance_pickles():
+    state = EngineState(partials=[{0: 0.0}], params=[{}])
+    # Simulate a checkpoint written before provenance fields existed.
+    del state.__dict__["program_name"]
+    del state.__dict__["num_fragments"]
+    clone = pickle.loads(pickle.dumps(state))
+    assert clone.program_name == ""
+    assert clone.num_fragments == 0
+    assert clone.partials == [{0: 0.0}]
+
+
+def test_engine_state_loads_from_old_module_path():
+    state = EngineState(partials=[], params=[], program_name="bfs")
+    payload = pickle.dumps(state, protocol=0)
+    legacy = payload.replace(b"repro.core.delta", b"repro.core.incremental")
+    assert pickle.loads(legacy) == state
+
+
+# ------------------------------------------------------ repair-mode ladder
+def _kept_run(fraction):
+    g = _line_graph(8)
+    fragd = build_fragments(g, {v: v // 4 for v in range(8)}, 2)
+    engine = GrapeEngine(fragd, repair_fraction=fraction)
+    program = SSSPProgram()
+    query = SSSPQuery(source=0)
+    first = engine.run(program, query, keep_state=True)
+    return engine, program, query, first
+
+
+@pytest.mark.parametrize(
+    ("fraction", "batch", "mode"),
+    [
+        (1.0, [("insert", 0, 3, 0.5)], "monotone"),
+        (1.0, [("delete", 6, 7)], "scoped"),
+        (0.0, [("delete", 6, 7)], "full"),
+    ],
+)
+def test_repair_mode_ladder(fraction, batch, mode):
+    engine, program, query, first = _kept_run(fraction)
+    second = engine.run_incremental(program, query, first.state, batch)
+    assert second.repair.mode == mode
+    if mode == "monotone":
+        assert second.repair.unsafe_ops == 0
+    else:
+        assert second.repair.unsafe_ops == 1
+    if mode == "scoped":
+        assert 0 < second.repair.invalidated < 8
+        assert second.repair.fragments  # per-fragment breakdown recorded
+
+
+def test_repair_stats_as_dict_is_json_ready():
+    stats = DeltaRepairStats(
+        mode="scoped", safe_ops=1, unsafe_ops=2, invalidated=3, resets=3,
+        invalidation_rounds=1, fragments={1: 2, 0: 1},
+    )
+    assert stats.as_dict() == {
+        "mode": "scoped",
+        "safe_ops": 1,
+        "unsafe_ops": 2,
+        "invalidated": 3,
+        "resets": 3,
+        "invalidation_rounds": 1,
+        "fragments": {"0": 1, "1": 2},
+    }

@@ -201,6 +201,66 @@ def test_cli_bad_graph_spec(capsys):
     assert "error" in capsys.readouterr().err
 
 
+def test_cli_run_updates_reports_repair(capsys, tmp_path):
+    import json
+
+    delta = tmp_path / "delta.json"
+    delta.write_text(json.dumps({
+        "insert": [[0, 24, 0.5]],
+        "delete": [[0, 1]],
+        "reweight": [[1, 2, 9.0]],
+    }))
+    rc = main([
+        "run", "--graph", "road:5x5", "--query", "sssp",
+        "--source", "0", "--workers", "2", "--updates", str(delta),
+    ])
+    assert rc == 0
+    assert "delta repair:" in capsys.readouterr().out
+
+    rc = main([
+        "run", "--graph", "road:5x5", "--query", "sssp",
+        "--source", "0", "--workers", "2", "--updates", str(delta),
+        "--json",
+    ])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["repair"]["mode"] in {"monotone", "scoped", "full"}
+    assert payload["repair"]["unsafe_ops"] >= 1
+
+
+def test_cli_run_updates_missing_file(capsys):
+    rc = main([
+        "run", "--graph", "road:5x5", "--query", "sssp",
+        "--source", "0", "--updates", "/nonexistent/delta.json",
+    ])
+    assert rc == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_cli_serve_trace_with_deletes_verifies(capsys):
+    import json
+    from pathlib import Path
+
+    trace_path = (
+        Path(__file__).resolve().parents[2]
+        / "benchmarks" / "traces" / "service_workload.json"
+    )
+    trace = json.loads(trace_path.read_text())
+    updates = [op for op in trace["ops"] if op.get("op") == "update"]
+    assert any(op.get("deletes") for op in updates)  # ΔG deletions replayed
+    # No --no-verify: every update batch verifies standing answers
+    # against a full recompute; a mismatch would flip the exit code.
+    rc = main(["serve", "--trace", str(trace_path), "--json"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    report = json.loads(out)
+    assert report["survived"] is True
+    assert report["updates"]["deletes"] == 2
+    assert report["updates"]["reweights"] == 1
+    for standing in report["standing"]:
+        assert standing["mismatches"] == 0
+
+
 def test_cli_compare(capsys):
     rc = main(["compare", "--graph", "road:7x7", "--workers", "3"])
     assert rc == 0

@@ -38,6 +38,29 @@ def test_load_trace_rejects_query_without_class(tmp_path):
         load_trace(str(bad))
 
 
+def test_load_trace_rejects_empty_update(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"graph": "road:4x4",
+                               "ops": [{"op": "update"}]}))
+    with pytest.raises(GrapeError, match="at least one of"):
+        load_trace(str(bad))
+
+
+def test_update_batches_may_be_deletes_only(tmp_path):
+    good = tmp_path / "good.json"
+    good.write_text(json.dumps({
+        "graph": "road:4x4",
+        "ops": [
+            {"op": "query", "class": "sssp", "params": {"source": 0}},
+            {"op": "update", "deletes": [[1, 2]]},
+        ],
+    }))
+    _, report = replay_trace(load_trace(str(good)))
+    assert report.survived
+    assert report.updates["deletes"] == 1
+    assert report.updates["edges"] == 0
+
+
 def test_load_trace_requires_graph_somewhere(tmp_path):
     trace_file = tmp_path / "nograph.json"
     trace_file.write_text(json.dumps({"ops": []}))
