@@ -119,6 +119,7 @@ class GrapeEngine:
         routing: str = "coordinator",
         supervision: SupervisionPolicy | None = None,
         repair_fraction: float = 0.5,
+        tracer=None,
     ) -> None:
         if routing not in ("coordinator", "direct"):
             raise ProgramError(f"unknown routing mode {routing!r}")
@@ -134,6 +135,9 @@ class GrapeEngine:
         self.routing = routing
         self.supervision = supervision or SupervisionPolicy()
         self.repair_fraction = repair_fraction
+        #: Optional :class:`~repro.obs.Tracer` — a pure observer; never
+        #: feeds back into the computation (see tests/property purity).
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     def run(
@@ -157,7 +161,9 @@ class GrapeEngine:
         executes under that plan's deterministic fault schedule.
         """
         cluster = self._make_cluster(f"grape[{program.name}]", faults)
-        supervisor = Supervisor(self.supervision, cluster.metrics.faults)
+        supervisor = Supervisor(
+            self.supervision, cluster.metrics.faults, tracer=self.tracer
+        )
         n = cluster.num_workers
         spec = program.param_spec(query)
         checker: MonotonicityChecker | None = None
@@ -208,6 +214,8 @@ class GrapeEngine:
                 program_name=program.name,
                 num_fragments=n,
             )
+        if self.tracer is not None:
+            self.tracer.run_end(cluster.metrics)
         return GrapeResult(
             answer=answer,
             metrics=cluster.metrics,
@@ -267,7 +275,9 @@ class GrapeEngine:
 
         self._check_state(program, query, state)
         cluster = self._make_cluster(f"grape-inc[{program.name}]", faults)
-        supervisor = Supervisor(self.supervision, cluster.metrics.faults)
+        supervisor = Supervisor(
+            self.supervision, cluster.metrics.faults, tracer=self.tracer
+        )
         n = cluster.num_workers
         partials = state.partials
         params = state.params
@@ -367,6 +377,8 @@ class GrapeEngine:
         )
 
         answer = self._assemble(cluster, program, query, partials, supervisor)
+        if self.tracer is not None:
+            self.tracer.run_end(cluster.metrics)
         return GrapeResult(
             answer=answer,
             metrics=cluster.metrics,
@@ -516,7 +528,9 @@ class GrapeEngine:
         partials = state.partials
         params = state.params
         cluster = self._make_cluster(f"grape-recover[{program.name}]", faults)
-        supervisor = Supervisor(self.supervision, cluster.metrics.faults)
+        supervisor = Supervisor(
+            self.supervision, cluster.metrics.faults, tracer=self.tracer
+        )
         guard = FixpointGuard(
             max_supersteps=self.max_supersteps, rounds=ckpt_round
         )
@@ -530,6 +544,8 @@ class GrapeEngine:
         )
 
         answer = self._assemble(cluster, program, query, partials, supervisor)
+        if self.tracer is not None:
+            self.tracer.run_end(cluster.metrics)
         return GrapeResult(
             answer=answer,
             metrics=cluster.metrics,
@@ -592,11 +608,14 @@ class GrapeEngine:
     def _make_cluster(self, engine_name: str, faults) -> Cluster:
         """A cluster for one run, with the fault plan's injector if any."""
         injector = faults.injector() if faults is not None else None
+        if self.tracer is not None:
+            self.tracer.run_begin(engine_name, self.fragmented.num_fragments)
         return Cluster(
             self.fragmented.num_fragments,
             self.cost_model,
             engine_name=engine_name,
             injector=injector,
+            tracer=self.tracer,
         )
 
     def _fixpoint(
@@ -693,6 +712,15 @@ class GrapeEngine:
         # Completed-but-uncheckpointed rounds plus the aborted one.
         lost = guard.rewind(ckpt_round) + 1
         supervisor.counters.rounds_lost += lost
+        if self.tracer is not None:
+            # Emitted next to the rounds_lost accounting so recovery
+            # spans reconcile exactly with FaultCounters.
+            self.tracer.recovery(
+                failure.worker,
+                failure.superstep,
+                resumed_round=ckpt_round,
+                rounds_lost=lost,
+            )
         cluster.mpi.reset_in_flight()
         params[:] = state.params
         partials[:] = state.partials

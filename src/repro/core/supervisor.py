@@ -49,10 +49,14 @@ class Supervisor:
     """Wraps worker computes; counts what it absorbs into the metrics."""
 
     def __init__(
-        self, policy: SupervisionPolicy, counters: FaultCounters
+        self,
+        policy: SupervisionPolicy,
+        counters: FaultCounters,
+        tracer=None,
     ) -> None:
         self.policy = policy
         self.counters = counters
+        self.tracer = tracer
         self._recoveries = 0
 
     def attempt(self, step, worker: int, fn):
@@ -86,6 +90,16 @@ class Supervisor:
                 step.charge(worker, backoff)
                 self.counters.retries += 1
                 self.counters.backoff_time += backoff
+                if self.tracer is not None:
+                    # Same branch as the counter bump: the chaos test
+                    # reconciles retry spans 1:1 against FaultCounters.
+                    self.tracer.retry(
+                        worker,
+                        step.index,
+                        step.phase,
+                        attempt=retries,
+                        backoff=backoff,
+                    )
 
     def begin_recovery(self, failure: WorkerFailure) -> None:
         """Account one checkpoint recovery; enforce the recovery cap."""

@@ -39,11 +39,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     import json
 
     graph = _make_graph(args.graph)
+    tracer = None
+    if args.trace_out:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
     session = Session(
         graph,
         num_workers=args.workers,
         partition=args.partition,
         check_monotonic=args.check_monotonic,
+        tracer=tracer,
     )
     kwargs: dict[str, object] = {}
     if args.source is not None:
@@ -98,6 +104,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"invalidated={repair.invalidated} resets={repair.resets} "
                 f"rounds={repair.invalidation_rounds}"
             )
+    if tracer is not None:
+        from repro.obs import write_chrome_trace
+
+        events = write_chrome_trace(tracer, args.trace_out)
+        print(
+            f"trace: {events} events -> {args.trace_out} "
+            "(open in chrome://tracing or ui.perfetto.dev)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -254,17 +269,53 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     trace = load_trace(args.trace)
     verify = False if args.no_verify else None
+    tracer = None
+    if args.trace_out:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
     _, report = replay_trace(
         trace,
         graph_spec=args.graph,
         max_queries=args.max_queries,
         verify=verify,
+        tracer=tracer,
     )
     if args.json:
         print(report.to_json())
     else:
         print(report.format())
+    if tracer is not None:
+        from repro.obs import write_chrome_trace
+
+        events = write_chrome_trace(tracer, args.trace_out)
+        print(
+            f"trace: {events} events -> {args.trace_out} "
+            "(open in chrome://tracing or ui.perfetto.dev)",
+            file=sys.stderr,
+        )
     return 0 if report.survived else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Render the straggler/skew report of an exported Chrome trace."""
+    import json
+
+    from repro.obs import report_from_chrome
+
+    try:
+        with open(args.trace, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise GrapeError(f"cannot read trace file {args.trace}: {exc}")
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        raise GrapeError(
+            f"{args.trace} is not a Chrome trace_event export "
+            "(missing 'traceEvents'); produce one with "
+            "grape run/serve --trace-out"
+        )
+    print(report_from_chrome(data), end="")
+    return 0
 
 
 def _cmd_classes(args: argparse.Namespace) -> int:
@@ -300,6 +351,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit run metrics as JSON (RunMetrics.as_dict schema)",
     )
+    run.add_argument(
+        "--trace-out", default=None, metavar="FILE.json",
+        help="export a Chrome trace_event span trace of the run "
+             "(open in chrome://tracing or ui.perfetto.dev)",
+    )
     run.set_defaults(func=_cmd_run)
 
     serve = sub.add_parser(
@@ -323,7 +379,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--json", action="store_true",
                        help="machine-readable service report")
+    serve.add_argument(
+        "--trace-out", default=None, metavar="FILE.json",
+        help="export a Chrome trace_event span trace of the replay "
+             "(service lanes + every engine run it dispatched)",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    report = sub.add_parser(
+        "report",
+        help="straggler/skew report from an exported --trace-out file",
+    )
+    report.add_argument(
+        "trace", metavar="TRACE.json",
+        help="Chrome trace_event export produced by grape run/serve",
+    )
+    report.set_defaults(func=_cmd_report)
 
     parts = sub.add_parser(
         "partitions", help="compare partition strategies on a graph"

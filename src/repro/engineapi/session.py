@@ -48,6 +48,7 @@ class Session:
         check_monotonic: bool = False,
         routing: str = "coordinator",
         validate: bool = False,
+        tracer=None,
     ) -> None:
         self.graph = graph
         self.num_workers = num_workers
@@ -55,6 +56,9 @@ class Session:
         self.check_monotonic = check_monotonic
         self.routing = routing
         self.validate = validate
+        #: Optional :class:`~repro.obs.Tracer` every engine this session
+        #: builds records into (pure observer; see repro.obs).
+        self.tracer = tracer
         self._partitioner = (
             partition
             if isinstance(partition, Partitioner)
@@ -142,6 +146,7 @@ class Session:
             cost_model=self.cost_model,
             check_monotonic=self.check_monotonic,
             routing=self.routing,
+            tracer=self.tracer,
         )
 
     def run(

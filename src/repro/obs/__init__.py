@@ -1,0 +1,58 @@
+"""repro.obs — unified observability: span tracing, metrics, exporters.
+
+One pure-observer :class:`Tracer` collects flat deterministic events
+from the engine, runtime, chaos and serving layers; the virtual
+timeline (:mod:`repro.obs.timeline`) places them as spans without ever
+consulting wall clock; the Chrome exporter and the straggler/skew
+report are two views over that timeline, and :class:`MetricsRegistry`
+gives every counter in the system a stable dotted name.
+"""
+
+from repro.obs.chrome import (
+    chrome_trace,
+    dump_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.registry import MetricsRegistry, sanitize_segment
+from repro.obs.skew import (
+    report_for_tracer,
+    report_from_chrome,
+    runs_from_chrome,
+    skew_report,
+)
+from repro.obs.timeline import (
+    BYTE_COST,
+    COMPUTE_COST,
+    MSG_COST,
+    SYNC_COST,
+    RunTimeline,
+    StepTimeline,
+    WorkerSpan,
+    build_timeline,
+    service_events,
+    ship_cost,
+)
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "BYTE_COST",
+    "COMPUTE_COST",
+    "MSG_COST",
+    "SYNC_COST",
+    "MetricsRegistry",
+    "RunTimeline",
+    "StepTimeline",
+    "Tracer",
+    "WorkerSpan",
+    "build_timeline",
+    "chrome_trace",
+    "dump_chrome_trace",
+    "report_for_tracer",
+    "report_from_chrome",
+    "runs_from_chrome",
+    "sanitize_segment",
+    "service_events",
+    "ship_cost",
+    "skew_report",
+    "write_chrome_trace",
+]

@@ -1,0 +1,233 @@
+"""MetricsRegistry: one flat namespace over every counter we emit.
+
+``RunMetrics``, ``ServiceReport``, ``FaultCounters`` and
+``DeltaRepairStats`` each grew their own dict schema; dashboards and
+tests end up hard-coding four shapes. The registry consolidates them
+under **stable dotted names** (``run.bytes.total``,
+``run.faults.retries``, ``service.cache.hit_rate``,
+``repair.invalidated`` ...) with deterministic ordering, so one report
+renderer and one JSON schema cover every layer.
+
+Naming rules: lowercase dotted segments; dynamic segments (query-class
+names, standing-query names, phases) are sanitized to
+``[a-z0-9_-]``. Values are scalars (int/float/str/bool/None) only —
+the registry is a metric namespace, not a document store.
+"""
+
+from __future__ import annotations
+
+import re
+
+_SEGMENT_RE = re.compile(r"^[a-z0-9_-]+$")
+_SANITIZE_RE = re.compile(r"[^a-z0-9_-]")
+
+Scalar = int | float | str | bool | None
+
+
+def sanitize_segment(raw: object) -> str:
+    """A dynamic name as one legal metric segment (lossy but stable)."""
+    cleaned = _SANITIZE_RE.sub("_", str(raw).lower())
+    return cleaned or "_"
+
+
+class MetricsRegistry:
+    """A sorted ``dotted.name -> scalar`` namespace.
+
+    Deterministic by construction: iteration, :meth:`as_dict` and
+    :meth:`render` are sorted by name, so two registries built from the
+    same counters serialize byte-identically.
+    """
+
+    def __init__(self, values: dict[str, Scalar] | None = None) -> None:
+        self._values: dict[str, Scalar] = {}
+        for name, value in (values or {}).items():
+            self.record(name, value)
+
+    # ------------------------------------------------------------------
+    def record(self, name: str, value: Scalar) -> None:
+        """Set one metric; rejects malformed names and non-scalar values."""
+        segments = name.split(".")
+        if not segments or not all(_SEGMENT_RE.match(s) for s in segments):
+            raise ValueError(
+                f"bad metric name {name!r}: want lowercase dotted segments "
+                "of [a-z0-9_-]"
+            )
+        if value is not None and not isinstance(value, (int, float, str, bool)):
+            raise ValueError(
+                f"metric {name!r} value must be a scalar, got "
+                f"{type(value).__name__}"
+            )
+        self._values[name] = value
+
+    def record_many(self, prefix: str, mapping: dict) -> None:
+        """Record every scalar in ``mapping`` under ``prefix.<key>``.
+
+        Nested dicts recurse with their (sanitized) key as a segment;
+        non-scalar leaves are skipped.
+        """
+        for key in sorted(mapping, key=str):
+            value = mapping[key]
+            name = f"{prefix}.{sanitize_segment(key)}"
+            if isinstance(value, dict):
+                self.record_many(name, value)
+            elif value is None or isinstance(value, (int, float, str, bool)):
+                self.record(name, value)
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry in (its names win on collision)."""
+        self._values.update(other._values)
+        return self
+
+    # ------------------------------------------------------------------
+    def get(self, name: str, default: Scalar = None) -> Scalar:
+        return self._values.get(name, default)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def names(self) -> list[str]:
+        """All metric names, sorted."""
+        return sorted(self._values)
+
+    def filtered(self, prefix: str) -> "MetricsRegistry":
+        """A sub-registry of names under ``prefix.``."""
+        dot = prefix + "."
+        out = MetricsRegistry()
+        for name in self.names():
+            if name == prefix or name.startswith(dot):
+                out._values[name] = self._values[name]
+        return out
+
+    def as_dict(self) -> dict[str, Scalar]:
+        """Name -> value, sorted by name (the stable JSON schema)."""
+        return {name: self._values[name] for name in self.names()}
+
+    def render(self, title: str | None = None) -> str:
+        """Aligned plain-text dump (one metric per line)."""
+        lines: list[str] = []
+        if title:
+            lines += [title, "=" * len(title)]
+        width = max((len(n) for n in self._values), default=0)
+        for name in self.names():
+            value = self._values[name]
+            shown = f"{value:.6g}" if isinstance(value, float) else str(value)
+            lines.append(f"{name:<{width}}  {shown}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Adapters over the existing metric containers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_run(cls, metrics, prefix: str = "run") -> "MetricsRegistry":
+        """Consolidate one :class:`~repro.runtime.metrics.RunMetrics`."""
+        reg = cls()
+        reg.record(f"{prefix}.engine", metrics.engine)
+        reg.record(f"{prefix}.workers", metrics.num_workers)
+        reg.record(f"{prefix}.supersteps", metrics.num_supersteps)
+        reg.record(f"{prefix}.time.total", metrics.total_time)
+        reg.record(f"{prefix}.time.compute", metrics.total_compute)
+        reg.record(f"{prefix}.bytes.total", metrics.total_bytes)
+        reg.record(f"{prefix}.messages.total", metrics.total_messages)
+        reg.record(f"{prefix}.communication.mb", metrics.communication_mb)
+        reg.record(f"{prefix}.load_imbalance", metrics.load_imbalance())
+        for phase, seconds in sorted(metrics.phase_breakdown().items()):
+            reg.record(
+                f"{prefix}.time.phase.{sanitize_segment(phase)}", seconds
+            )
+        reg.merge(cls.from_faults(metrics.faults, prefix=f"{prefix}.faults"))
+        return reg
+
+    @classmethod
+    def from_faults(cls, counters, prefix: str = "faults") -> "MetricsRegistry":
+        """Consolidate one :class:`~repro.runtime.metrics.FaultCounters`."""
+        reg = cls()
+        reg.record_many(prefix, counters.as_dict())
+        reg.record(f"{prefix}.total_injected", counters.total_injected)
+        return reg
+
+    @classmethod
+    def from_repair(cls, stats, prefix: str = "repair") -> "MetricsRegistry":
+        """Consolidate one :class:`~repro.core.delta.DeltaRepairStats`."""
+        reg = cls()
+        reg.record_many(prefix, stats.as_dict())
+        return reg
+
+    @classmethod
+    def from_service(cls, report, prefix: str = "service") -> "MetricsRegistry":
+        """Consolidate a :class:`~repro.service.metrics.ServiceReport`.
+
+        Accepts the report object or its ``as_dict()`` form. Standing
+        queries register under ``<prefix>.standing.<name>.*``.
+        """
+        data = report if isinstance(report, dict) else report.as_dict()
+        reg = cls()
+        reg.record(f"{prefix}.graph_version", data["graph_version"])
+        reg.record(f"{prefix}.time", data["simulated_time"])
+        reg.record(f"{prefix}.workers", data["num_workers"])
+        reg.record(f"{prefix}.survived", data["survived"])
+        reg.record_many(f"{prefix}.queue", data["queue"])
+        reg.record_many(f"{prefix}.cache", data["cache"])
+        reg.record_many(f"{prefix}.updates", data["updates"])
+        for name, stats in sorted(data["classes"].items()):
+            reg.record_many(
+                f"{prefix}.class.{sanitize_segment(name)}", stats
+            )
+        for stats in data["standing"]:
+            reg.record_many(
+                f"{prefix}.standing.{sanitize_segment(stats['name'])}",
+                {k: v for k, v in stats.items() if k != "name"},
+            )
+        return reg
+
+    @classmethod
+    def from_tracer(cls, tracer, prefix: str = "obs") -> "MetricsRegistry":
+        """Replay-stable totals from a tracer's event log.
+
+        Only deterministic quantities are aggregated (never measured
+        time), so this registry — embedded in exported Chrome traces —
+        is byte-identical across re-runs of the same workload.
+        """
+        reg = cls()
+        runs = retries = recoveries = 0
+        supersteps = nbytes = messages = 0
+        faults: dict[str, float] = {}
+        queries = hits = rejected = updates = 0
+        for ev in tracer.events:
+            kind = ev["kind"]
+            if kind == "run_begin":
+                runs += 1
+            elif kind == "run_end" and "supersteps" in ev:
+                supersteps += ev["supersteps"]
+                nbytes += ev["bytes"]
+                messages += ev["messages"]
+                for key, value in ev["faults"].items():
+                    faults[key] = faults.get(key, 0) + value
+            elif kind == "retry":
+                retries += 1
+            elif kind == "recovery":
+                recoveries += 1
+            elif kind == "svc_query":
+                queries += 1
+                hits += bool(ev["from_cache"])
+            elif kind == "svc_reject":
+                rejected += 1
+            elif kind == "svc_update":
+                updates += 1
+        reg.record(f"{prefix}.events", len(tracer.events))
+        reg.record(f"{prefix}.runs", runs)
+        reg.record(f"{prefix}.supersteps", supersteps)
+        reg.record(f"{prefix}.bytes.total", nbytes)
+        reg.record(f"{prefix}.messages.total", messages)
+        reg.record(f"{prefix}.spans.retry", retries)
+        reg.record(f"{prefix}.spans.recovery", recoveries)
+        for key in sorted(faults):
+            reg.record(f"{prefix}.faults.{sanitize_segment(key)}", faults[key])
+        if queries or rejected or updates:
+            reg.record(f"{prefix}.service.queries", queries)
+            reg.record(f"{prefix}.service.cache_hits", hits)
+            reg.record(f"{prefix}.service.rejected", rejected)
+            reg.record(f"{prefix}.service.updates", updates)
+        return reg

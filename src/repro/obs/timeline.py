@@ -1,0 +1,283 @@
+"""The virtual timeline: deterministic span placement for trace export.
+
+Wall clock is replay-hostile — two identical runs measure different
+compute times — so exported traces place every span on a **virtual
+clock** derived purely from deterministic quantities: superstep counts,
+shipped messages and bytes, injected straggler delays and supervisor
+backoff (all simulated seconds, all pure functions of the run). The
+cost constants are shared with the serving layer's
+:func:`~repro.service.metrics.run_cost`, so a span's duration and a
+query's charged cost speak the same vocabulary.
+
+Layout of one superstep starting at virtual time ``t0``:
+
+* each worker's compute attempts run in parallel lanes from ``t0``:
+  attempt k costs ``COMPUTE_COST + straggler_delay``; a retried attempt
+  is followed by its backoff span; the worker's logical sends ship in a
+  trailing ``ship`` span (``MSG_COST``/``BYTE_COST`` per message/byte);
+* the barrier's delivery follows the slowest lane:
+  ``messages * MSG_COST + bytes * BYTE_COST``;
+* ``SYNC_COST`` closes the superstep.
+
+The builder consumes a :class:`~repro.obs.tracer.Tracer`'s raw events
+and produces :class:`RunTimeline` objects; the Chrome exporter and the
+skew report are both views over this one structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Virtual seconds per BSP superstep barrier (scheduling + sync).
+SYNC_COST = 5e-4
+#: Virtual seconds per shipped message.
+MSG_COST = 2e-6
+#: Virtual seconds per shipped byte.
+BYTE_COST = 5e-9
+#: Virtual seconds charged for entering one compute attempt.
+COMPUTE_COST = 1e-4
+
+
+def ship_cost(messages: int, nbytes: int) -> float:
+    """Virtual seconds to serialize/ship a batch of parameters."""
+    return messages * MSG_COST + nbytes * BYTE_COST
+
+
+@dataclass
+class WorkerSpan:
+    """One span on a worker's lane (absolute virtual times, seconds)."""
+
+    worker: int  # rank; -1 is the coordinator
+    name: str  # superstep phase, "backoff", or "ship"
+    cat: str  # "compute" | "chaos" | "transport"
+    start: float
+    duration: float
+    args: dict = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass
+class StepTimeline:
+    """One superstep on the virtual timeline."""
+
+    index: int
+    phase: str
+    start: float
+    duration: float
+    lane_max: float
+    network: float
+    bytes: int = 0
+    messages: int = 0
+    pairs: int = 0
+    faults: int = 0
+    retries: int = 0
+    aborted: bool = False
+    spans: list[WorkerSpan] = field(default_factory=list)
+    #: rank -> total virtual seconds across its spans this superstep.
+    worker_totals: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass
+class RunTimeline:
+    """One engine run on the virtual timeline."""
+
+    run: int
+    engine: str
+    workers: int
+    start: float
+    duration: float = 0.0
+    steps: list[StepTimeline] = field(default_factory=list)
+    recoveries: list[dict] = field(default_factory=list)
+    #: Deterministic totals from run_end (None for an aborted run).
+    summary: dict | None = None
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def worker_totals(self) -> dict[int, float]:
+        """rank -> total virtual compute seconds across all supersteps."""
+        totals: dict[int, float] = {}
+        for step in self.steps:
+            for rank, seconds in step.worker_totals.items():
+                totals[rank] = totals.get(rank, 0.0) + seconds
+        return totals
+
+
+class _StepBuilder:
+    """Accumulates one superstep's raw events before placement."""
+
+    def __init__(self, index: int, phase: str) -> None:
+        self.index = index
+        self.phase = phase
+        #: rank -> [(name, cat, duration, args), ...] in lane order.
+        self.items: dict[int, list[tuple]] = {}
+
+    def add(
+        self, rank: int, name: str, cat: str, duration: float, args: dict
+    ) -> None:
+        self.items.setdefault(rank, []).append((name, cat, duration, args))
+
+    def finish(
+        self,
+        start: float,
+        bytes_sent: int = 0,
+        messages: int = 0,
+        pairs: int = 0,
+        sends: dict | None = None,
+        faults: int = 0,
+        retries: int = 0,
+        aborted: bool = False,
+    ) -> StepTimeline:
+        """Place every lane at ``start`` and compute the step duration."""
+        for rank, counts in sorted((sends or {}).items()):
+            msgs, nbytes = int(counts[0]), int(counts[1])
+            self.add(
+                int(rank),
+                "ship",
+                "transport",
+                ship_cost(msgs, nbytes),
+                {"messages": msgs, "bytes": nbytes},
+            )
+        spans: list[WorkerSpan] = []
+        totals: dict[int, float] = {}
+        for rank in sorted(self.items):
+            cursor = start
+            for name, cat, duration, args in self.items[rank]:
+                spans.append(
+                    WorkerSpan(
+                        worker=rank,
+                        name=name,
+                        cat=cat,
+                        start=cursor,
+                        duration=duration,
+                        args={
+                            "worker": rank,
+                            "step": self.index,
+                            "phase": self.phase,
+                            **args,
+                        },
+                    )
+                )
+                cursor += duration
+            totals[rank] = cursor - start
+        lane_max = max(totals.values(), default=0.0)
+        network = 0.0 if aborted else ship_cost(messages, bytes_sent)
+        return StepTimeline(
+            index=self.index,
+            phase=self.phase,
+            start=start,
+            duration=lane_max + network + SYNC_COST,
+            lane_max=lane_max,
+            network=network,
+            bytes=bytes_sent,
+            messages=messages,
+            pairs=pairs,
+            faults=faults,
+            retries=retries,
+            aborted=aborted,
+            spans=spans,
+            worker_totals=totals,
+        )
+
+
+def build_timeline(events) -> list[RunTimeline]:
+    """Assemble run timelines from a tracer's raw engine events.
+
+    Service events are ignored here (they already carry simulated
+    times); see :func:`service_events`. Runs are laid out back to back
+    on one global virtual clock, in recorded order. A run or superstep
+    left open (an escaped fatal failure) is closed where the log ends.
+    """
+    runs: list[RunTimeline] = []
+    cursor = 0.0
+    run: RunTimeline | None = None
+    builder: _StepBuilder | None = None
+
+    def close_step(aborted: bool, **totals) -> None:
+        nonlocal builder, cursor
+        if builder is None or run is None:
+            builder = None
+            return
+        step = builder.finish(start=cursor, aborted=aborted, **totals)
+        run.steps.append(step)
+        cursor = step.end
+        builder = None
+
+    def close_run(summary: dict | None) -> None:
+        nonlocal run
+        if run is None:
+            return
+        close_step(aborted=True)
+        run.summary = summary
+        run.duration = cursor - run.start
+        run = None
+
+    for ev in events:
+        kind = ev["kind"]
+        if kind == "run_begin":
+            close_run(None)
+            run = RunTimeline(
+                run=ev["run"],
+                engine=ev["engine"],
+                workers=ev["workers"],
+                start=cursor,
+            )
+            runs.append(run)
+        elif kind == "run_end":
+            close_run(
+                {
+                    k: ev[k]
+                    for k in ("supersteps", "bytes", "messages", "faults")
+                    if k in ev
+                }
+                or None
+            )
+        elif kind == "step_begin":
+            close_step(aborted=True)
+            builder = _StepBuilder(ev["step"], ev["phase"])
+        elif kind == "compute_end" and builder is not None:
+            delay = float(ev.get("straggler_delay", 0.0))
+            builder.add(
+                ev["worker"],
+                builder.phase,
+                "compute",
+                COMPUTE_COST + delay,
+                {"ok": ev["ok"], "straggler_delay": delay},
+            )
+        elif kind == "retry" and builder is not None:
+            builder.add(
+                ev["worker"],
+                "backoff",
+                "chaos",
+                float(ev["backoff"]),
+                {"attempt": ev["attempt"]},
+            )
+        elif kind == "step_end":
+            close_step(
+                aborted=False,
+                bytes_sent=ev["bytes"],
+                messages=ev["messages"],
+                pairs=ev["pairs"],
+                sends=ev["sends"],
+                faults=ev["faults"],
+                retries=ev["retries"],
+            )
+        elif kind == "step_abort":
+            close_step(aborted=True)
+        elif kind == "recovery" and run is not None:
+            run.recoveries.append({**ev, "at": cursor})
+    close_run(None)
+    return runs
+
+
+def service_events(events) -> list[dict]:
+    """The service-side raw events (svc_*), in emission order."""
+    return [ev for ev in events if ev["kind"].startswith("svc_")]

@@ -1,0 +1,299 @@
+"""The span tracer: a pure observer of engine, runtime and service.
+
+A :class:`Tracer` is an append-only event log. Instrumentation hooks in
+:class:`~repro.runtime.cluster.Cluster`,
+:class:`~repro.core.engine.GrapeEngine`,
+:class:`~repro.core.supervisor.Supervisor` and
+:class:`~repro.service.service.GrapeService` emit flat events (run
+begin/end, superstep begin/end, per-worker compute attempts, shipped
+parameters, supervisor retries, checkpoint recoveries, service
+admission/queue/lane activity); exporters later assemble them into
+spans on a **virtual timeline** derived from the deterministic cost
+model (:mod:`repro.obs.timeline`) — never from wall clock.
+
+Purity contract: every event payload is a pure function of the run's
+deterministic execution (counts, byte sizes, simulated delays). The
+tracer never feeds anything back into the computation, so a run with a
+tracer attached and a run without one produce byte-identical answers,
+metrics and checkpoint payloads (locked down by
+``tests/property/test_obs_purity.py``).
+
+Span taxonomy (the ``kind`` field of raw events):
+
+========================  ====================================================
+``run_begin/run_end``     one engine run (PEval -> IncEval* -> Assemble)
+``step_begin/step_end``   one BSP superstep (phase: peval / inceval / repair /
+                          update / invalidate / recover / assemble)
+``step_abort``            a superstep torn down by a fatal worker loss
+``compute_begin/_end``    one worker (or coordinator) compute attempt
+``retry``                 supervisor absorbed a transient failure (backoff)
+``recovery``              in-run checkpoint recovery of a fatal loss
+``svc_submit/svc_reject`` service admission decisions
+``svc_query``             one served query (queue wait + lane execution)
+``svc_update``            one ΔG batch (drain, repair, re-warm)
+``svc_standing``          cold registration of a standing query
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class Tracer:
+    """Append-only observability event log (one per process/session).
+
+    All emit methods are cheap (one dict append) and must stay free of
+    side effects on the traced computation. Events are dicts with a
+    ``kind`` key; see the module docstring for the taxonomy. The tracer
+    survives across runs — a serving session records every engine run
+    it dispatches into the same log.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+        self._run = -1
+        self._run_open = False
+        self._step = -1
+        self._step_phase = ""
+
+    # ------------------------------------------------------------------
+    def _emit(self, kind: str, **data: object) -> None:
+        self.events.append({"kind": kind, **data})
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def select(self, *kinds: str) -> list[dict]:
+        """Events of the given kinds, in emission order."""
+        wanted = set(kinds)
+        return [ev for ev in self.events if ev["kind"] in wanted]
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self.events)
+
+    # ------------------------------------------------------------------
+    # Engine / cluster hooks
+    # ------------------------------------------------------------------
+    def run_begin(self, engine: str, workers: int) -> int:
+        """Open a run span; returns its stable run id.
+
+        A run left open by an escaped exception (e.g. an unrecoverable
+        fatal crash) is auto-closed so the log never nests runs.
+        """
+        if self._run_open:
+            self.run_end(None)
+        self._run += 1
+        self._run_open = True
+        self._step = -1
+        self._emit("run_begin", run=self._run, engine=engine, workers=workers)
+        return self._run
+
+    def run_end(self, metrics=None) -> None:
+        """Close the current run, recording its deterministic totals.
+
+        Only replay-stable counters are recorded (supersteps, bytes,
+        messages, fault counters) — simulated/wall times stay out of the
+        log so exported traces are byte-stable across re-runs.
+        """
+        if not self._run_open:
+            return
+        data: dict = {}
+        if metrics is not None:
+            data = {
+                "supersteps": metrics.num_supersteps,
+                "bytes": metrics.total_bytes,
+                "messages": metrics.total_messages,
+                "faults": metrics.faults.as_dict(),
+            }
+        self._emit("run_end", run=self._run, **data)
+        self._run_open = False
+
+    def step_begin(self, index: int, phase: str) -> None:
+        """Open superstep ``index`` of the current run."""
+        self._step = index
+        self._step_phase = phase
+        self._emit("step_begin", run=self._run, step=index, phase=phase)
+
+    def step_end(
+        self,
+        index: int,
+        phase: str,
+        bytes_sent: int,
+        messages: int,
+        pairs: int,
+        sends: dict[int, list[int]],
+        faults: int,
+        retries: int,
+    ) -> None:
+        """Close a superstep with its barrier traffic totals.
+
+        ``sends`` maps sender rank -> ``[messages, bytes]`` shipped this
+        superstep (logical sends; injected retransmissions are part of
+        the step totals only).
+        """
+        self._emit(
+            "step_end",
+            run=self._run,
+            step=index,
+            phase=phase,
+            bytes=bytes_sent,
+            messages=messages,
+            pairs=pairs,
+            sends={w: list(counts) for w, counts in sorted(sends.items())},
+            faults=faults,
+            retries=retries,
+        )
+        self._step = -1
+
+    def step_abort(self, index: int, phase: str) -> None:
+        """A superstep torn down before its barrier (fatal worker loss)."""
+        self._emit("step_abort", run=self._run, step=index, phase=phase)
+        self._step = -1
+
+    def compute_begin(self, worker: int) -> None:
+        """A worker (or the coordinator, rank -1) enters compute."""
+        self._emit(
+            "compute_begin",
+            run=self._run,
+            step=self._step,
+            phase=self._step_phase,
+            worker=worker,
+        )
+
+    def compute_end(
+        self, worker: int, ok: bool = True, straggler_delay: float = 0.0
+    ) -> None:
+        """The matching compute exit; ``ok=False`` marks a failed attempt."""
+        self._emit(
+            "compute_end",
+            run=self._run,
+            step=self._step,
+            phase=self._step_phase,
+            worker=worker,
+            ok=ok,
+            straggler_delay=straggler_delay,
+        )
+
+    def retry(
+        self,
+        worker: int,
+        superstep: int,
+        phase: str,
+        attempt: int,
+        backoff: float,
+    ) -> None:
+        """The supervisor absorbed a transient failure of ``worker``."""
+        self._emit(
+            "retry",
+            run=self._run,
+            step=superstep,
+            phase=phase,
+            worker=worker,
+            attempt=attempt,
+            backoff=backoff,
+        )
+
+    def recovery(
+        self,
+        worker: int,
+        superstep: int,
+        resumed_round: int,
+        rounds_lost: int,
+    ) -> None:
+        """In-run checkpoint recovery after a fatal loss of ``worker``."""
+        self._emit(
+            "recovery",
+            run=self._run,
+            step=superstep,
+            worker=worker,
+            resumed_round=resumed_round,
+            rounds_lost=rounds_lost,
+        )
+
+    # ------------------------------------------------------------------
+    # Service hooks (all times are the service's simulated clock)
+    # ------------------------------------------------------------------
+    def svc_submit(
+        self,
+        seq: int,
+        query_class: str,
+        clock: float,
+        cacheable: bool,
+        priority: int,
+    ) -> None:
+        """One query admitted into the service queue."""
+        self._emit(
+            "svc_submit",
+            seq=seq,
+            query_class=query_class,
+            clock=clock,
+            cacheable=cacheable,
+            priority=priority,
+        )
+
+    def svc_reject(self, query_class: str, clock: float) -> None:
+        """One query shed by admission backpressure."""
+        self._emit("svc_reject", query_class=query_class, clock=clock)
+
+    def svc_query(
+        self,
+        seq: int,
+        query_class: str,
+        lane: int,
+        submit: float,
+        start: float,
+        finish: float,
+        from_cache: bool,
+        cost: float,
+        version: int,
+    ) -> None:
+        """One served query: queue wait [submit, start), lane [start, finish)."""
+        self._emit(
+            "svc_query",
+            seq=seq,
+            query_class=query_class,
+            lane=lane,
+            submit=submit,
+            start=start,
+            finish=finish,
+            from_cache=from_cache,
+            cost=cost,
+            version=version,
+        )
+
+    def svc_update(
+        self,
+        version: int,
+        inserts: int,
+        deletes: int,
+        reweights: int,
+        invalidated: int,
+        start: float,
+        finish: float,
+        repaired: list[str],
+    ) -> None:
+        """One ΔG batch: graph version bump + standing-query repairs."""
+        self._emit(
+            "svc_update",
+            version=version,
+            inserts=inserts,
+            deletes=deletes,
+            reweights=reweights,
+            invalidated=invalidated,
+            start=start,
+            finish=finish,
+            repaired=list(repaired),
+        )
+
+    def svc_standing(
+        self, name: str, query_class: str, start: float, finish: float
+    ) -> None:
+        """Cold registration of a standing query."""
+        self._emit(
+            "svc_standing",
+            name=name,
+            query_class=query_class,
+            start=start,
+            finish=finish,
+        )

@@ -39,6 +39,8 @@ class SuperstepHandle:
         self._bytes = 0
         self._messages = 0
         self._pairs = 0
+        #: src rank -> [messages, bytes] shipped via :meth:`send`.
+        self._sends: dict[int, list[int]] = {}
         faults = cluster.metrics.faults
         self._faults_base = faults.total_injected
         self._retries_base = faults.retries
@@ -49,18 +51,38 @@ class SuperstepHandle:
 
         With a fault injector installed, entering the interval may raise
         the scheduled :class:`~repro.errors.WorkerFailure`, and straggler
-        delays are charged on top of the measured time.
+        delays are charged on top of the measured time. Under
+        ``CostModel(deterministic=True)`` the wall clock is never read;
+        only the (deterministic) straggler delay is charged.
         """
         injector = self._cluster.injector
+        tracer = self._cluster.tracer
+        if tracer is not None:
+            tracer.compute_begin(worker)
         delay = 0.0
-        if injector is not None:
-            delay = injector.on_compute(worker, self.index, self.phase)
-        start = time.perf_counter()
+        try:
+            if injector is not None:
+                delay = injector.on_compute(worker, self.index, self.phase)
+        except BaseException:
+            if tracer is not None:
+                tracer.compute_end(worker, ok=False)
+            raise
+        deterministic = self._cluster.cost_model.deterministic
+        start = 0.0 if deterministic else time.perf_counter()
+        ok = True
         try:
             yield
+        except BaseException:
+            ok = False
+            raise
         finally:
-            elapsed = time.perf_counter() - start + delay
+            if deterministic:
+                elapsed = delay
+            else:
+                elapsed = time.perf_counter() - start + delay
             self._compute[worker] = self._compute.get(worker, 0.0) + elapsed
+            if tracer is not None:
+                tracer.compute_end(worker, ok=ok, straggler_delay=delay)
 
     def charge(self, worker: int, seconds: float) -> None:
         """Add pre-measured compute seconds for ``worker``."""
@@ -68,7 +90,11 @@ class SuperstepHandle:
 
     def send(self, src: int, dst: int, payload: object) -> Message:
         """Send a message for delivery in the next superstep."""
-        return self._cluster.mpi.send(src, dst, payload)
+        msg = self._cluster.mpi.send(src, dst, payload)
+        counts = self._sends.setdefault(src, [0, 0])
+        counts[0] += 1
+        counts[1] += msg.size
+        return msg
 
     def deliver(self) -> None:
         """Mid-superstep flush: deliver queued messages now.
@@ -109,6 +135,18 @@ class SuperstepHandle:
         self._cluster.metrics.add_superstep(metrics)
         for worker, seconds in self._compute.items():
             self._cluster.metrics.charge_worker(worker, seconds)
+        tracer = self._cluster.tracer
+        if tracer is not None:
+            tracer.step_end(
+                self.index,
+                self.phase,
+                bytes_sent=self._bytes,
+                messages=self._messages,
+                pairs=self._pairs,
+                sends=self._sends,
+                faults=metrics.faults_injected,
+                retries=metrics.retries,
+            )
         return metrics
 
 
@@ -121,10 +159,12 @@ class Cluster:
         cost_model: CostModel | None = None,
         engine_name: str = "",
         injector=None,
+        tracer=None,
     ) -> None:
         self.num_workers = num_workers
         self.cost_model = cost_model or CostModel()
         self.injector = injector
+        self.tracer = tracer
         self.mpi = MPIController(num_workers, injector=injector)
         self.metrics = RunMetrics(engine=engine_name, num_workers=num_workers)
         if injector is not None:
@@ -134,9 +174,21 @@ class Cluster:
 
     @contextmanager
     def superstep(self, phase: str) -> Iterator[SuperstepHandle]:
-        """Open a superstep; on exit the barrier flushes and is metered."""
+        """Open a superstep; on exit the barrier flushes and is metered.
+
+        A superstep torn down by an escaping exception (fatal worker
+        loss) stays out of the metrics, exactly as before; the tracer —
+        if any — records the abort.
+        """
         handle = SuperstepHandle(self, phase)
-        yield handle
+        if self.tracer is not None:
+            self.tracer.step_begin(handle.index, phase)
+        try:
+            yield handle
+        except BaseException:
+            if self.tracer is not None:
+                self.tracer.step_abort(handle.index, phase)
+            raise
         handle.finish()
 
     def receive(self, rank: int) -> list[Message]:

@@ -37,6 +37,11 @@ class CostModel:
     barrier_overhead: float = 5e-4
     #: Multiplier applied to measured Python compute time.
     compute_scale: float = 1.0
+    #: When true, compute intervals are NOT measured with the wall clock;
+    #: only deterministic charges (injected straggler delays, supervisor
+    #: backoff) enter the makespan. Replays then produce byte-identical
+    #: ``RunMetrics`` — the mode the observability purity suite runs in.
+    deterministic: bool = False
 
     def network_time(self, total_bytes: int, rounds: int) -> float:
         """Simulated seconds to move ``total_bytes`` in ``rounds`` batches."""

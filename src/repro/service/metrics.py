@@ -22,10 +22,14 @@ from repro.runtime.metrics import RunMetrics
 #: measured wall time (not replay-stable), so the service charges each
 #: run a *simulated* cost from its deterministic counters instead —
 #: barriers, shipped messages and shipped bytes. Two replays of one
-#: trace therefore produce byte-identical reports.
-SYNC_COST = 5e-4  # seconds per BSP superstep (barrier + scheduling)
-MSG_COST = 2e-6  # seconds per shipped message
-BYTE_COST = 5e-9  # seconds per shipped byte
+#: trace therefore produce byte-identical reports. The constants live
+#: in :mod:`repro.obs.timeline` so trace spans and query charges speak
+#: the same cost vocabulary; they are re-exported here for back-compat.
+from repro.obs.timeline import (  # noqa: E402  (doc comment above)
+    BYTE_COST,
+    MSG_COST,
+    SYNC_COST,
+)
 
 
 def run_cost(metrics: RunMetrics) -> float:

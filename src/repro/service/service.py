@@ -160,8 +160,14 @@ class GrapeService:
         hit_cost: float = 1e-4,
         rewarm_hottest: int = 0,
         program_kwargs: dict[str, dict] | None = None,
+        tracer=None,
     ) -> None:
         self.session = session
+        if tracer is not None:
+            session.tracer = tracer
+        #: The session's tracer (if any) also records service admission,
+        #: queue/lane and update activity — simulated clock only.
+        self._tracer = getattr(session, "tracer", None)
         self._engine = session.engine()
         self._queue = AdmissionQueue(capacity=max_pending)
         self._lanes = LaneClock(concurrency=concurrency)
@@ -237,9 +243,19 @@ class GrapeService:
             self._queue.admit(request)
         except ServiceError:
             stats.rejected += 1
+            if self._tracer is not None:
+                self._tracer.svc_reject(query_class, self._clock)
             raise
         stats.submitted += 1
         self._pending_queries[request.seq] = query
+        if self._tracer is not None:
+            self._tracer.svc_submit(
+                request.seq,
+                query_class,
+                clock=self._clock,
+                cacheable=cacheable,
+                priority=priority,
+            )
         return request.seq
 
     def drain(self) -> dict[int, ServedResult]:
@@ -270,6 +286,18 @@ class GrapeService:
                 version=self._version,
                 cost=cost,
             )
+            if self._tracer is not None:
+                self._tracer.svc_query(
+                    request.seq,
+                    request.query_class,
+                    lane=lane,
+                    submit=request.submit_time,
+                    start=start,
+                    finish=finish,
+                    from_cache=from_cache,
+                    cost=cost,
+                    version=self._version,
+                )
         self._clock = max(self._clock, self._lanes.horizon)
         return results
 
@@ -349,6 +377,13 @@ class GrapeService:
         lane, start = self._lanes.start(self._clock)
         self._lanes.occupy(lane, start + run_cost(result.metrics))
         self._clock = max(self._clock, self._lanes.horizon)
+        if self._tracer is not None:
+            self._tracer.svc_standing(
+                name,
+                query_class,
+                start=start,
+                finish=start + run_cost(result.metrics),
+            )
         stats = StandingStats(
             name=name,
             query_class=query_class,
@@ -428,6 +463,7 @@ class GrapeService:
         """
         delta = self._as_delta(edges, deletes, reweights)
         drained = self.drain()  # pending queries observe their version
+        update_start = self._clock
         self._mutate_graph(delta)
         touched = apply_delta(self.session.fragmented, delta)
         self._version += 1
@@ -470,6 +506,17 @@ class GrapeService:
         self._updates.deletes += delta.deletes
         self._updates.reweights += delta.reweights
         self._updates.rewarmed += outcome.rewarmed
+        if self._tracer is not None:
+            self._tracer.svc_update(
+                version=self._version,
+                inserts=delta.inserts,
+                deletes=delta.deletes,
+                reweights=delta.reweights,
+                invalidated=invalidated,
+                start=update_start,
+                finish=self._clock,
+                repaired=sorted(outcome.repaired),
+            )
         return outcome
 
     def _mutate_graph(self, delta: GraphDelta) -> None:

@@ -72,7 +72,9 @@ def load_trace(path: str) -> dict:
     return trace
 
 
-def build_service(trace: dict, graph_spec: str | None = None) -> GrapeService:
+def build_service(
+    trace: dict, graph_spec: str | None = None, tracer=None
+) -> GrapeService:
     """Construct the service a trace describes (graph, partition, knobs)."""
     from repro.engineapi.session import Session
 
@@ -86,6 +88,7 @@ def build_service(trace: dict, graph_spec: str | None = None) -> GrapeService:
         graph,
         num_workers=int(trace.get("workers", 4)),
         partition=trace.get("partition", "hash"),
+        tracer=tracer,
     )
     knobs = trace.get("service", {})
     return GrapeService(
@@ -104,16 +107,18 @@ def replay_trace(
     graph_spec: str | None = None,
     max_queries: int | None = None,
     verify: bool | None = None,
+    tracer=None,
 ) -> tuple[GrapeService, ServiceReport]:
     """Replay a trace and return ``(service, final report)``.
 
     ``max_queries`` stops submitting after that many query ops (the
     smoke-test knob); remaining update ops are skipped too so the
     truncated replay stays cheap. ``verify`` overrides every update
-    op's own ``verify`` flag when not None.
+    op's own ``verify`` flag when not None. ``tracer`` (ignored when a
+    pre-built ``service`` is passed) records the replay for export.
     """
     if service is None:
-        service = build_service(trace, graph_spec)
+        service = build_service(trace, graph_spec, tracer=tracer)
     for standing in trace.get("standing", []):
         service.register_standing(
             standing["name"],

@@ -1,0 +1,89 @@
+"""EngineState pickle back-compat: old snapshots still load, obs adds
+no new fields.
+
+Checkpoints written before provenance (``program_name`` /
+``num_fragments``) or before the observability layer existed must keep
+loading through :meth:`EngineState.__setstate__`, and — because tracing
+is a pure observer — a state pickled today must contain exactly the
+same field set as before this layer landed.
+"""
+
+import pickle
+
+from repro.algorithms.sssp import SSSPProgram, SSSPQuery
+from repro.core.delta import EngineState
+from repro.core.engine import GrapeEngine
+from repro.graph.fragment import build_fragments
+from repro.graph.generators import road_network
+from repro.obs import Tracer
+from repro.partition.registry import get_partitioner
+
+#: The frozen pickle schema: adding a field here breaks every stored
+#: checkpoint, so it must be a deliberate, versioned decision.
+STATE_FIELDS = {"partials", "params", "program_name", "num_fragments"}
+
+
+def _old_style_pickle() -> bytes:
+    """A pickle shaped like pre-provenance checkpoints: a bare
+    ``{partials, params}`` dict, as ``run(keep_state=True)`` wrote it
+    before the provenance fields (and long before obs) existed."""
+    state = EngineState.__new__(EngineState)
+    state.__dict__.update(
+        {"partials": [{"a": 1.0}], "params": [{"b": 2.0}]}
+    )
+    return pickle.dumps(state)
+
+
+def test_pre_provenance_pickle_loads_with_defaults():
+    loaded = pickle.loads(_old_style_pickle())
+    assert loaded.partials == [{"a": 1.0}]
+    assert loaded.params == [{"b": 2.0}]
+    assert loaded.program_name == ""
+    assert loaded.num_fragments == 0
+
+
+def _state(tracer=None) -> EngineState:
+    g = road_network(5, 5, seed=2, removal_prob=0.0)
+    assignment = get_partitioner("hash")(g, 2)
+    engine = GrapeEngine(build_fragments(g, assignment, 2), tracer=tracer)
+    return engine.run(
+        SSSPProgram(), SSSPQuery(source=0), keep_state=True
+    ).state
+
+
+def test_state_pickles_carry_exactly_the_frozen_field_set():
+    blob = pickle.dumps(_state())
+    assert set(pickle.loads(blob).__dict__) == STATE_FIELDS
+
+
+def test_tracing_adds_no_fields_and_no_bytes_to_state_pickles():
+    plain = pickle.dumps(_state())
+    traced = pickle.dumps(_state(tracer=Tracer()))
+    assert plain == traced
+    assert set(pickle.loads(traced).__dict__) == STATE_FIELDS
+
+
+def test_old_pickle_resumes_through_run_incremental():
+    """A state stripped to the old field set still drives a repair."""
+    g = road_network(5, 5, seed=2, removal_prob=0.0)
+    assignment = get_partitioner("hash")(g, 2)
+    engine = GrapeEngine(build_fragments(g, assignment, 2))
+    fresh = engine.run(
+        SSSPProgram(), SSSPQuery(source=0), keep_state=True
+    ).state
+
+    old = EngineState.__new__(EngineState)
+    old.__dict__.update({"partials": fresh.partials, "params": fresh.params})
+    loaded = pickle.loads(pickle.dumps(old))
+
+    edges = list(g.edges())
+    delta = [("delete", edges[0].src, edges[0].dst)]
+    repaired = engine.run_incremental(
+        SSSPProgram(), SSSPQuery(source=0), loaded, delta
+    )
+    post = g.copy()
+    post.remove_edge(edges[0].src, edges[0].dst)
+    full = GrapeEngine(build_fragments(post, assignment, 2)).run(
+        SSSPProgram(), SSSPQuery(source=0)
+    )
+    assert repaired.answer == full.answer

@@ -1,0 +1,127 @@
+"""Obs × chaos: trace spans reconcile exactly with FaultCounters.
+
+A seeded :class:`~repro.runtime.faults.FaultPlan` drives a run with the
+tracer attached; every retry/recovery the supervisor counts must appear
+as exactly one span in the trace (no dropped events, no duplicates),
+and the deterministic quantities attached to the spans (backoff
+seconds, straggler delay, rounds lost) must sum to the counters.
+"""
+
+import pytest
+
+from repro.algorithms.sssp import SSSPProgram, SSSPQuery
+from repro.core.checkpoint import CheckpointPolicy
+from repro.core.engine import GrapeEngine
+from repro.graph.fragment import build_fragments
+from repro.graph.generators import road_network
+from repro.obs import Tracer
+from repro.obs.chrome import chrome_trace
+from repro.partition.registry import get_partitioner
+from repro.runtime.faults import CrashFault, FaultPlan, StragglerFault
+from repro.storage.dfs import SimulatedDFS
+
+
+def _engine(tracer=None, workers=3):
+    g = road_network(6, 6, seed=1)
+    assignment = get_partitioner("hash")(g, workers)
+    return GrapeEngine(
+        build_fragments(g, assignment, workers), tracer=tracer
+    )
+
+
+TRANSIENT_PLAN = FaultPlan(
+    faults=(
+        CrashFault(probability=0.3, fatal=False, times=3),
+        StragglerFault(probability=0.2, delay=0.05, times=None),
+    ),
+    seed=7,
+)
+
+
+def test_retry_spans_reconcile_with_fault_counters():
+    tracer = Tracer()
+    result = _engine(tracer=tracer).run(
+        SSSPProgram(), SSSPQuery(source=0), faults=TRANSIENT_PLAN
+    )
+    counters = result.metrics.faults
+    assert counters.retries > 0, "plan injected nothing; test is vacuous"
+
+    retries = tracer.select("retry")
+    assert len(retries) == counters.retries
+    assert sum(ev["backoff"] for ev in retries) == pytest.approx(
+        counters.backoff_time
+    )
+    # No duplicates: each (worker, step, attempt) appears exactly once.
+    keys = [(ev["worker"], ev["step"], ev["attempt"]) for ev in retries]
+    assert len(keys) == len(set(keys))
+
+    failed = [
+        ev for ev in tracer.select("compute_end") if not ev["ok"]
+    ]
+    assert len(failed) == counters.crashes_injected
+
+    delays = [
+        ev["straggler_delay"]
+        for ev in tracer.select("compute_end")
+        if ev.get("straggler_delay", 0.0) > 0
+    ]
+    assert len(delays) == counters.stragglers_injected
+    assert sum(delays) == pytest.approx(counters.straggler_delay)
+
+
+def test_recovery_spans_reconcile_with_fault_counters(tmp_path):
+    tracer = Tracer()
+    policy = CheckpointPolicy(SimulatedDFS(tmp_path), every=1, tag="chaos")
+    plan = FaultPlan(
+        faults=(CrashFault(worker=1, at_superstep=3, fatal=True, times=1),),
+        seed=11,
+    )
+    result = _engine(tracer=tracer).run(
+        SSSPProgram(), SSSPQuery(source=0), checkpoint=policy, faults=plan
+    )
+    counters = result.metrics.faults
+    assert counters.recoveries == 1
+
+    recoveries = tracer.select("recovery")
+    assert len(recoveries) == counters.recoveries
+    assert sum(ev["rounds_lost"] for ev in recoveries) == counters.rounds_lost
+    assert recoveries[0]["worker"] == 1
+
+    # The healed run still answers correctly.
+    clean = _engine().run(SSSPProgram(), SSSPQuery(source=0))
+    assert result.answer == clean.answer
+
+
+def test_chrome_export_carries_every_chaos_span(tmp_path):
+    tracer = Tracer()
+    policy = CheckpointPolicy(SimulatedDFS(tmp_path), every=1, tag="chaos")
+    plan = FaultPlan(
+        faults=(
+            CrashFault(worker=1, at_superstep=3, fatal=True, times=1),
+            CrashFault(probability=0.2, fatal=False, times=2),
+            StragglerFault(probability=0.2, delay=0.05, times=None),
+        ),
+        seed=3,
+    )
+    result = _engine(tracer=tracer).run(
+        SSSPProgram(), SSSPQuery(source=0), checkpoint=policy, faults=plan
+    )
+    counters = result.metrics.faults
+    events = chrome_trace(tracer)["traceEvents"]
+
+    backoffs = [
+        ev for ev in events
+        if ev["ph"] == "X" and ev["cat"] == "chaos" and ev["name"] == "backoff"
+    ]
+    assert len(backoffs) == counters.retries
+
+    recovery_marks = [
+        ev for ev in events
+        if ev["ph"] == "i" and ev["name"] == "checkpoint-recovery"
+    ]
+    assert len(recovery_marks) == counters.recoveries == 1
+    assert recovery_marks[0]["args"]["rounds_lost"] == counters.rounds_lost
+
+    exported = chrome_trace(tracer)["otherData"]["metrics"]
+    assert exported["obs.spans.retry"] == counters.retries
+    assert exported["obs.spans.recovery"] == counters.recoveries

@@ -1,0 +1,85 @@
+"""CLI smoke for the observability layer: --trace-out and grape report."""
+
+import json
+
+import pytest
+
+from repro.engineapi.cli import main
+from repro.obs.chrome import FORMAT
+
+
+def test_run_trace_out_then_report(tmp_path, capsys):
+    out = tmp_path / "run_trace.json"
+    assert main(
+        [
+            "run", "--graph", "road:5x5", "--query", "sssp",
+            "--source", "0", "--workers", "3",
+            "--trace-out", str(out),
+        ]
+    ) == 0
+    captured = capsys.readouterr()
+    assert f"-> {out}" in captured.err
+
+    data = json.loads(out.read_text(encoding="utf-8"))
+    assert data["otherData"]["format"] == FORMAT
+    assert any(
+        ev.get("cat") == "superstep" for ev in data["traceEvents"]
+    )
+
+    assert main(["report", str(out)]) == 0
+    report = capsys.readouterr().out
+    assert "grape[sssp]" in report
+    assert "peval" in report and "assemble" in report
+    assert "worker totals" in report or "w0" in report
+
+
+def test_serve_trace_out_then_report(tmp_path, capsys):
+    workload = tmp_path / "workload.json"
+    workload.write_text(
+        json.dumps(
+            {
+                "graph": "road:4x4",
+                "workers": 2,
+                "ops": [
+                    {"op": "query", "class": "sssp",
+                     "params": {"source": 0}, "repeat": 2},
+                    {"op": "drain"},
+                ],
+            }
+        ),
+        encoding="utf-8",
+    )
+    out = tmp_path / "serve_trace.json"
+    assert main(
+        ["serve", "--trace", str(workload), "--trace-out", str(out)]
+    ) == 0
+    capsys.readouterr()
+
+    data = json.loads(out.read_text(encoding="utf-8"))
+    cats = {ev.get("cat") for ev in data["traceEvents"]}
+    assert "service.lane" in cats and "superstep" in cats
+
+    assert main(["report", str(out)]) == 0
+    report = capsys.readouterr().out
+    assert "service" in report
+
+
+def test_trace_out_is_byte_stable(tmp_path):
+    args = [
+        "run", "--graph", "road:4x4", "--query", "cc", "--workers", "2",
+    ]
+    first, second = tmp_path / "a.json", tmp_path / "b.json"
+    assert main(args + ["--trace-out", str(first)]) == 0
+    assert main(args + ["--trace-out", str(second)]) == 0
+    assert first.read_bytes() == second.read_bytes()
+
+
+def test_report_rejects_junk(tmp_path, capsys):
+    missing = tmp_path / "nope.json"
+    assert main(["report", str(missing)]) == 2
+    assert "cannot read trace file" in capsys.readouterr().err
+
+    not_a_trace = tmp_path / "other.json"
+    not_a_trace.write_text("{}", encoding="utf-8")
+    assert main(["report", str(not_a_trace)]) == 2
+    assert "traceEvents" in capsys.readouterr().err

@@ -1,0 +1,162 @@
+"""Golden-file tests for the Chrome trace_event exporter.
+
+The checked-in fixtures under ``fixtures/`` are the canonical exports
+of two seeded workloads (an SSSP run and a small serve replay). The
+exporter must reproduce them byte for byte — span ids, ordering and
+JSON formatting are all part of the contract. Regenerate after an
+intentional schema change with::
+
+    REGEN_OBS_GOLDEN=1 PYTHONPATH=src python -m pytest tests/obs/test_chrome_golden.py
+
+and review the fixture diff like any other code change.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.engineapi.query import build_query
+from repro.engineapi.registry import get_program
+from repro.engineapi.session import Session
+from repro.graph.generators import graph_from_spec
+from repro.obs import Tracer, dump_chrome_trace
+from repro.obs.chrome import FORMAT
+from repro.service.trace import replay_trace
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REGEN = os.environ.get("REGEN_OBS_GOLDEN") == "1"
+
+#: Inline serve workload: exercises every svc_* event kind — queue
+#: waits and lane spans (queries), shed instants (max_pending=2 with 4
+#: submits), a standing-query span, and an update span.
+SERVE_TRACE = {
+    "graph": "road:4x4",
+    "workers": 2,
+    "partition": "hash",
+    "service": {"max_pending": 2, "concurrency": 2},
+    "standing": [
+        {"name": "hub-sssp", "class": "sssp", "params": {"source": 0}}
+    ],
+    "ops": [
+        {"op": "query", "class": "sssp", "params": {"source": 0},
+         "repeat": 4},
+        {"op": "drain"},
+        {"op": "update", "edges": [[0, 5, 0.5]], "verify": False},
+        {"op": "query", "class": "sssp", "params": {"source": 0}},
+        {"op": "query", "class": "cc"},
+    ],
+}
+
+
+def _sssp_run_tracer() -> Tracer:
+    tracer = Tracer()
+    session = Session(
+        graph_from_spec("road:5x5"),
+        num_workers=3,
+        partition="hash",
+        tracer=tracer,
+    )
+    session.run(get_program("sssp"), build_query("sssp", source=0))
+    return tracer
+
+
+def _serve_tracer() -> Tracer:
+    tracer = Tracer()
+    replay_trace(SERVE_TRACE, tracer=tracer)
+    return tracer
+
+
+def _check_golden(tracer: Tracer, name: str) -> str:
+    path = FIXTURES / name
+    text = dump_chrome_trace(tracer)
+    if REGEN:
+        path.write_text(text, encoding="utf-8")
+        pytest.skip(f"regenerated {name}")
+    assert path.exists(), (
+        f"missing fixture {name}; regenerate with REGEN_OBS_GOLDEN=1"
+    )
+    assert text == path.read_text(encoding="utf-8"), (
+        f"export drifted from golden fixture {name}; if the change is "
+        "intentional, regenerate with REGEN_OBS_GOLDEN=1 and review the diff"
+    )
+    return text
+
+
+def test_sssp_run_matches_golden():
+    _check_golden(_sssp_run_tracer(), "sssp_run_trace.json")
+
+
+def test_serve_replay_matches_golden():
+    _check_golden(_serve_tracer(), "serve_replay_trace.json")
+
+
+def test_export_is_byte_stable_across_replays():
+    assert dump_chrome_trace(_sssp_run_tracer()) == dump_chrome_trace(
+        _sssp_run_tracer()
+    )
+
+
+def _load_fixture(name: str) -> dict:
+    path = FIXTURES / name
+    if not path.exists():
+        pytest.skip(f"fixture {name} not generated yet")
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+@pytest.mark.parametrize(
+    "name", ["sssp_run_trace.json", "serve_replay_trace.json"]
+)
+def test_golden_schema(name):
+    data = _load_fixture(name)
+    assert set(data) == {"displayTimeUnit", "otherData", "traceEvents"}
+    assert data["otherData"]["format"] == FORMAT
+    assert isinstance(data["otherData"]["metrics"], dict)
+    pending_async: dict[tuple, float] = {}
+    for ev in data["traceEvents"]:
+        ph = ev["ph"]
+        assert isinstance(ev["pid"], int) and ev["pid"] >= 0
+        if ph == "M":
+            assert ev["name"] in ("process_name", "thread_name")
+            assert "name" in ev["args"]
+        elif ph == "X":
+            assert {"tid", "id", "name", "cat", "ts", "dur", "args"} <= set(ev)
+            assert ev["ts"] >= 0 and ev["dur"] >= 0
+        elif ph == "i":
+            assert ev["s"] == "p" and ev["ts"] >= 0
+        elif ph == "b":
+            pending_async[(ev["pid"], ev["id"])] = ev["ts"]
+        elif ph == "e":
+            begin_ts = pending_async.pop((ev["pid"], ev["id"]))
+            assert ev["ts"] >= begin_ts
+        else:
+            raise AssertionError(f"unexpected phase {ph!r}")
+    assert not pending_async, "unterminated async queue spans"
+
+
+@pytest.mark.parametrize(
+    "name", ["sssp_run_trace.json", "serve_replay_trace.json"]
+)
+def test_span_ids_are_sequential_from_one(name):
+    data = _load_fixture(name)
+    ids = [
+        ev["id"] for ev in data["traceEvents"] if ev["ph"] in ("X", "i")
+    ]
+    assert ids == list(range(1, len(ids) + 1))
+
+
+def test_run_spans_nest_inside_their_run(name="sssp_run_trace.json"):
+    data = _load_fixture(name)
+    spans = [ev for ev in data["traceEvents"] if ev["ph"] == "X"]
+    runs = [ev for ev in spans if ev["cat"] == "run"]
+    assert len(runs) == 1
+    run = runs[0]
+    run_end = run["ts"] + run["dur"]
+    for ev in spans:
+        assert run["ts"] <= ev["ts"]
+        assert ev["ts"] + ev.get("dur", 0.0) <= run_end + 1e-6
+    steps = [ev for ev in spans if ev["cat"] == "superstep"]
+    assert [s["args"]["step"] for s in steps] == list(range(len(steps)))
+    assert steps[0]["args"]["phase"] == "peval"
+    assert steps[-1]["args"]["phase"] == "assemble"

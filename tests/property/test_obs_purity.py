@@ -1,0 +1,100 @@
+"""Obs purity: tracing is a pure observer of the engine.
+
+Four delta-capable programs × random mixed ΔG batches (the same
+scenario strategy the repair property tests use). Running the identical
+workload with and without a :class:`~repro.obs.Tracer` attached must be
+byte-identical in every observable the engine produces: the cold and
+repaired answers, ``RunMetrics.as_dict``, ``DeltaRepairStats`` and the
+checkpoint payloads persisted to the simulated DFS. The deterministic
+cost model keeps wall-clock jitter out of the metrics so plain byte
+equality is the assertion, not an approximation.
+"""
+
+import json
+import tempfile
+
+from hypothesis import given
+
+from repro.algorithms.bfs import BFSProgram, BFSQuery
+from repro.algorithms.cc import CCProgram, CCQuery
+from repro.algorithms.kcore import KCoreProgram, KCoreQuery
+from repro.algorithms.sssp import SSSPProgram, SSSPQuery
+from repro.core.checkpoint import CheckpointPolicy
+from repro.core.engine import GrapeEngine
+from repro.graph.fragment import build_fragments
+from repro.obs import Tracer
+from repro.runtime.costmodel import CostModel
+from repro.service.service import canonical_answer_bytes
+from repro.storage.dfs import SimulatedDFS
+
+from tests.property.test_delta_random import SLOW, delta_scenario
+
+
+def _observables(make_program, query, case, tracer):
+    """Every byte-comparable output of one cold+incremental workload."""
+    pre, assignment, parts, ops, fraction = case
+    with tempfile.TemporaryDirectory() as root:
+        dfs = SimulatedDFS(root)
+        policy = CheckpointPolicy(dfs, every=1, tag="purity")
+        engine = GrapeEngine(
+            build_fragments(pre, assignment, parts),
+            cost_model=CostModel(deterministic=True),
+            repair_fraction=fraction,
+            tracer=tracer,
+        )
+        cold = engine.run(
+            make_program(), query, keep_state=True, checkpoint=policy
+        )
+        inc = engine.run_incremental(
+            make_program(), query, cold.state, ops, checkpoint=policy
+        )
+        blobs = {
+            name: dfs.get(f"checkpoints/purity/{name}")
+            for name in dfs.listdir("checkpoints/purity")
+        }
+    return {
+        "cold_answer": canonical_answer_bytes(cold.answer),
+        "inc_answer": canonical_answer_bytes(inc.answer),
+        "cold_metrics": json.dumps(
+            cold.metrics.as_dict(include_supersteps=True), sort_keys=True
+        ),
+        "inc_metrics": json.dumps(
+            inc.metrics.as_dict(include_supersteps=True), sort_keys=True
+        ),
+        "repair": json.dumps(inc.repair.as_dict(), sort_keys=True),
+        "checkpoints": blobs,
+    }
+
+
+def _tracing_is_pure(make_program, query, case):
+    off = _observables(make_program, query, case, tracer=None)
+    tracer = Tracer()
+    on = _observables(make_program, query, case, tracer=tracer)
+    assert on == off
+    # The observer did actually watch: both engine runs are in the log.
+    assert len(tracer.select("run_begin")) == 2
+    assert len(tracer.select("run_end")) == 2
+
+
+@SLOW
+@given(delta_scenario())
+def test_sssp_obs_on_equals_obs_off(case):
+    _tracing_is_pure(SSSPProgram, SSSPQuery(source=0), case)
+
+
+@SLOW
+@given(delta_scenario())
+def test_bfs_obs_on_equals_obs_off(case):
+    _tracing_is_pure(BFSProgram, BFSQuery(source=0), case)
+
+
+@SLOW
+@given(delta_scenario())
+def test_cc_obs_on_equals_obs_off(case):
+    _tracing_is_pure(CCProgram, CCQuery(), case)
+
+
+@SLOW
+@given(delta_scenario(symmetric=True))
+def test_kcore_obs_on_equals_obs_off(case):
+    _tracing_is_pure(KCoreProgram, KCoreQuery(), case)
