@@ -154,10 +154,20 @@ class SSSPProgram(PIEProgram[SSSPQuery, Partial, dict]):
         """Closure of ``seeds`` over *tight* out-edges only.
 
         A distance can only depend on an invalidated vertex through an
-        edge that lies on a shortest path (``dist(v) == dist(u) + w``);
+        edge that lies on a shortest path (``dist(v) >= dist(u) + w``);
         slack edges carry no dependency, which keeps the region — and
         hence the repair — proportional to the true affected subtree
         instead of the whole reachable set.
+
+        The test is ``>=`` rather than ``==`` because the fragments are
+        already mutated when the closure runs: an edge whose weight was
+        *decreased* by a safe op in the same batch may have been tight
+        under its old weight (``dist(v) == dist(u) + w_old``), which now
+        reads as ``dist(v) > dist(u) + w_new``. At a converged fixpoint
+        every unchanged edge satisfies ``dist(v) <= dist(u) + w``, so
+        ``>=`` degenerates to the exact tightness test when no weight in
+        the batch decreased — the region never over-grows on pure
+        deletions.
         """
         region = set(seeds)
         stack = [v for v in seeds if fragment.graph.has_vertex(v)]
@@ -169,7 +179,7 @@ class SSSPProgram(PIEProgram[SSSPQuery, Partial, dict]):
             for e in fragment.graph.out_edges(u):
                 if e.dst in region:
                     continue
-                if partial.get(e.dst, INF) == du + e.weight:
+                if partial.get(e.dst, INF) >= du + e.weight:
                     region.add(e.dst)
                     stack.append(e.dst)
         return region

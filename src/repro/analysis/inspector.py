@@ -50,8 +50,10 @@ _ROLE_SIGNATURES: dict[str, tuple[str, ...]] = {
 }
 
 #: Direction of each built-in aggregator's partial order, keyed by the
-#: name it is referenced by in ``param_spec``. Custom aggregators resolve
-#: to no entry and direction-dependent rules skip the program.
+#: name it is referenced by in ``param_spec``. Custom aggregators fall
+#: back to type-aware inference from their ``Aggregator(name, combine,
+#: order)`` construction (see :func:`_infer_aggregator_direction`);
+#: only when that fails do direction-dependent rules skip the program.
 AGGREGATOR_DIRECTIONS: dict[str, str] = {
     "MIN": "decreasing",
     "MAX": "increasing",
@@ -61,6 +63,25 @@ AGGREGATOR_DIRECTIONS: dict[str, str] = {
     "SET_INTERSECT": "shrinking",
     "SUM_ONCE": "unordered",
     "LAST_WRITE": "unordered",
+}
+
+#: Direction implied by each partial-order constant from
+#: ``repro.core.partial_order`` when it appears as the ``order``
+#: argument of a custom ``Aggregator(...)`` construction.
+_ORDER_DIRECTIONS: dict[str, str] = {
+    "DECREASING": "decreasing",
+    "INCREASING": "increasing",
+    "GROWING_SET": "growing",
+    "SHRINKING_SET": "shrinking",
+    "UNORDERED": "unordered",
+}
+
+#: Direction implied by a builtin ``combine`` callable when the order
+#: argument is not a recognised constant (``min`` keeps the smaller
+#: value, so repeated application is decreasing; dually for ``max``).
+_COMBINE_DIRECTIONS: dict[str, str] = {
+    "min": "decreasing",
+    "max": "increasing",
 }
 
 
@@ -136,6 +157,10 @@ class ModuleInfo:
     mutable_globals: set[str] = field(default_factory=set)
     #: names imported from the ``random`` module (``from random import x``).
     random_imports: set[str] = field(default_factory=set)
+    #: top-level custom aggregators whose direction could be inferred
+    #: from their ``Aggregator(name, combine, order)`` construction:
+    #: bound name -> direction.
+    aggregator_directions: dict[str, str] = field(default_factory=dict)
 
     def suppressed(self, line: int, code: str) -> bool:
         """Whether ``code`` is pragma-suppressed at ``line``."""
@@ -181,6 +206,36 @@ def _is_mutable_literal(node: ast.AST) -> bool:
     return False
 
 
+def _infer_aggregator_direction(call: ast.AST) -> str | None:
+    """Direction of a custom ``Aggregator(name, combine, order)`` call.
+
+    Type-aware inference without importing the module: the ``order``
+    argument wins when it names one of the partial-order constants;
+    otherwise a builtin ``combine`` (``min``/``max``) pins the
+    direction. Returns ``None`` when neither is recognisable.
+    """
+    if not isinstance(call, ast.Call):
+        return None
+    callee = dotted_name(call.func)
+    if callee is None or callee.split(".")[-1] != "Aggregator":
+        return None
+    combine: ast.AST | None = call.args[1] if len(call.args) > 1 else None
+    order: ast.AST | None = call.args[2] if len(call.args) > 2 else None
+    for kw in call.keywords:
+        if kw.arg == "combine":
+            combine = kw.value
+        elif kw.arg == "order":
+            order = kw.value
+    for node, table in ((order, _ORDER_DIRECTIONS),
+                        (combine, _COMBINE_DIRECTIONS)):
+        name = dotted_name(node) if node is not None else None
+        if name is not None:
+            direction = table.get(name.split(".")[-1])
+            if direction is not None:
+                return direction
+    return None
+
+
 def _collect_module_context(tree: ast.Module, info: ModuleInfo) -> None:
     for stmt in tree.body:
         if isinstance(stmt, ast.Assign) and _is_mutable_literal(stmt.value):
@@ -195,6 +250,17 @@ def _collect_module_context(tree: ast.Module, info: ModuleInfo) -> None:
         elif isinstance(stmt, ast.ImportFrom) and stmt.module == "random":
             for alias in stmt.names:
                 info.random_imports.add(alias.asname or alias.name)
+        value = getattr(stmt, "value", None)
+        direction = _infer_aggregator_direction(value) if value else None
+        if direction is not None:
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign)
+                else [stmt.target] if isinstance(stmt, ast.AnnAssign)
+                else []
+            )
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    info.aggregator_directions[target.id] = direction
 
 
 # ----------------------------------------------------------------------
@@ -248,10 +314,14 @@ def _bind_arguments(fn: ast.FunctionDef, role: str) -> dict[str, str]:
     return bindings
 
 
-def _extract_aggregator(cls_methods: dict[str, MethodInfo]) -> AggregatorDecl | None:
+def _extract_aggregator(
+    cls_methods: dict[str, MethodInfo],
+    module_directions: dict[str, str] | None = None,
+) -> AggregatorDecl | None:
     spec = cls_methods.get("param_spec")
     if spec is None:
         return None
+    module_directions = module_directions or {}
     for node in ast.walk(spec.node):
         if not isinstance(node, ast.Call):
             continue
@@ -274,12 +344,23 @@ def _extract_aggregator(cls_methods: dict[str, MethodInfo]) -> AggregatorDecl | 
             continue
         name = dotted_name(agg_node)
         short = name.split(".")[-1] if name else "<expr>"
-        direction = AGGREGATOR_DIRECTIONS.get(short, "unknown")
-        return AggregatorDecl(short, direction, default, node)
+        direction = AGGREGATOR_DIRECTIONS.get(short)
+        if direction is None:
+            # Custom aggregator: a module-level ``X = Aggregator(...)``
+            # whose construction pinned the direction, or an inline
+            # ``Aggregator(...)`` call right in the ParamSpec.
+            direction = module_directions.get(short)
+        if direction is None:
+            direction = _infer_aggregator_direction(agg_node)
+        return AggregatorDecl(short, direction or "unknown", default, node)
     return None
 
 
-def _inspect_class(cls: ast.ClassDef, path: str) -> ProgramInfo:
+def _inspect_class(
+    cls: ast.ClassDef,
+    path: str,
+    module_directions: dict[str, str] | None = None,
+) -> ProgramInfo:
     program = ProgramInfo(name=cls.name, node=cls, path=path)
     for stmt in cls.body:
         if not isinstance(stmt, ast.FunctionDef):
@@ -291,7 +372,7 @@ def _inspect_class(cls: ast.ClassDef, path: str) -> ProgramInfo:
             role=role,
             bindings=_bind_arguments(stmt, role),
         )
-    program.aggregator = _extract_aggregator(program.methods)
+    program.aggregator = _extract_aggregator(program.methods, module_directions)
     bases = _base_names(cls)
     program.local_base = bases[0] if bases else None
     return program
@@ -337,7 +418,9 @@ def inspect_source(source: str, path: str = "<string>") -> ModuleInfo:
                 grew = True
     for name, cls in classes.items():
         if name in detected:
-            info.programs.append(_inspect_class(cls, path))
+            info.programs.append(
+                _inspect_class(cls, path, info.aggregator_directions)
+            )
     # Resolve aggregators through same-module inheritance (e.g. an
     # ablation subclass overriding only inceval).
     by_name = {p.name: p for p in info.programs}

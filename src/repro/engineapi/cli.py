@@ -264,7 +264,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    """Replay a JSON workload trace against a GrapeService."""
+    """Replay a JSON workload trace against a GrapeService or a fleet.
+
+    With ``--replicas N > 1`` the trace replays through a
+    :class:`~repro.service.fleet.FleetRouter`: ``--chaos-seed`` injects
+    the seed-deterministic replica fault mix, ``--deadline`` bounds each
+    query in simulated seconds, and the exit code is 0 only if every
+    admitted query was answered (fresh or tagged-stale) and every
+    rejoin audit passed.
+    """
     from repro.service.trace import load_trace, replay_trace
 
     trace = load_trace(args.trace)
@@ -274,13 +282,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from repro.obs import Tracer
 
         tracer = Tracer()
-    _, report = replay_trace(
-        trace,
-        graph_spec=args.graph,
-        max_queries=args.max_queries,
-        verify=verify,
-        tracer=tracer,
-    )
+    if args.replicas > 1:
+        from repro.service.fleet import default_chaos_plan, replay_fleet_trace
+
+        faults = None
+        if args.chaos_seed is not None:
+            faults = default_chaos_plan(args.chaos_seed, args.chaos_rate)
+        _, report = replay_fleet_trace(
+            trace,
+            replicas=args.replicas,
+            graph_spec=args.graph,
+            faults=faults,
+            deadline=args.deadline,
+            max_queries=args.max_queries,
+            verify=verify,
+            tracer=tracer,
+        )
+    else:
+        _, report = replay_trace(
+            trace,
+            graph_spec=args.graph,
+            max_queries=args.max_queries,
+            verify=verify,
+            tracer=tracer,
+            mode=args.drain_mode,
+        )
     if args.json:
         print(report.to_json())
     else:
@@ -376,6 +402,30 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--no-verify", action="store_true",
         help="skip auditing standing answers against full recomputation",
+    )
+    serve.add_argument(
+        "--replicas", type=int, default=1,
+        help="serve through a fleet of N service replicas (N > 1) with "
+             "failover, hedging and stale-tagged degraded answers",
+    )
+    serve.add_argument(
+        "--chaos-seed", type=int, default=None, metavar="S",
+        help="inject the seed-deterministic replica fault mix "
+             "(crashes, stragglers, update lag); fleet mode only",
+    )
+    serve.add_argument(
+        "--chaos-rate", type=float, default=0.1,
+        help="overall fault rate for --chaos-seed (default 0.1)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=None, metavar="D",
+        help="per-query deadline in simulated seconds; past it the fleet "
+             "degrades to stale-tagged answers instead of dropping",
+    )
+    serve.add_argument(
+        "--drain-mode", choices=["batch", "event"], default="batch",
+        help="single-service drain discipline: batch (priority order) or "
+             "event (admissions interleave with lane completions)",
     )
     serve.add_argument("--json", action="store_true",
                        help="machine-readable service report")

@@ -29,6 +29,7 @@ from repro.obs.timeline import (
     StepTimeline,
     WorkerSpan,
     build_timeline,
+    fleet_events,
     service_events,
     ship_cost,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "build_timeline",
     "chrome_trace",
     "dump_chrome_trace",
+    "fleet_events",
     "report_for_tracer",
     "report_from_chrome",
     "runs_from_chrome",

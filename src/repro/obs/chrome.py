@@ -23,6 +23,7 @@ from repro.obs.registry import MetricsRegistry
 from repro.obs.timeline import (
     RunTimeline,
     build_timeline,
+    fleet_events,
     service_events,
 )
 from repro.obs.tracer import Tracer
@@ -38,6 +39,11 @@ _WORKER_TID_BASE = 2  # worker w -> tid w + 2
 #: Thread ids inside the service process (pid 0).
 TID_SVC_ADMISSION = 0
 _LANE_TID_BASE = 1  # lane k -> tid k + 1
+
+#: Thread ids inside the fleet process (also pid 0: a fleet tracer is
+#: attached to the router only, so service/fleet tids never coexist).
+TID_FLEET_ROUTER = 0
+_REPLICA_TID_BASE = 1  # replica r -> tid r + 1
 
 _SVC_PID = 0
 _RUN_PID_BASE = 1  # run k -> pid k + 1
@@ -286,10 +292,107 @@ def _emit_service(emitter: _Emitter, events: list[dict]) -> None:
             )
 
 
+def _emit_fleet(emitter: _Emitter, events: list[dict]) -> None:
+    if not events:
+        return
+    emitter.meta(_SVC_PID, None, "process_name", "grape-fleet")
+    emitter.meta(_SVC_PID, TID_FLEET_ROUTER, "thread_name", "router")
+    replicas: set[int] = set()
+    for ev in events:
+        for key in ("replica", "primary", "secondary", "from_replica",
+                    "to_replica"):
+            rid = ev.get(key, -1)
+            if isinstance(rid, int) and rid >= 0:
+                replicas.add(rid)
+    for rid in sorted(replicas):
+        emitter.meta(
+            _SVC_PID, rid + _REPLICA_TID_BASE, "thread_name",
+            f"replica {rid}",
+        )
+    for ev in events:
+        kind = ev["kind"]
+        if kind == "fleet_route":
+            tid = (
+                ev["replica"] + _REPLICA_TID_BASE
+                if ev["replica"] >= 0
+                else TID_FLEET_ROUTER
+            )
+            emitter.span(
+                _SVC_PID,
+                tid,
+                f"route:{ev['query_class']}",
+                "fleet.route",
+                ev["start"],
+                max(ev["finish"] - ev["start"], 0.0),
+                {
+                    "seq": ev["seq"],
+                    "replica": ev["replica"],
+                    "attempts": ev["attempts"],
+                    "outcome": ev["outcome"],
+                    "stale": ev["stale"],
+                    "staleness": ev["staleness"],
+                },
+            )
+        elif kind == "fleet_hedge":
+            emitter.instant(
+                _SVC_PID,
+                TID_FLEET_ROUTER,
+                "hedge",
+                "fleet.hedge",
+                ev["clock"],
+                {
+                    "seq": ev["seq"],
+                    "primary": ev["primary"],
+                    "secondary": ev["secondary"],
+                    "winner": ev["winner"],
+                },
+            )
+        elif kind == "fleet_failover":
+            emitter.instant(
+                _SVC_PID,
+                TID_FLEET_ROUTER,
+                "failover",
+                "fleet.failover",
+                ev["clock"],
+                {
+                    "seq": ev["seq"],
+                    "from_replica": ev["from_replica"],
+                    "to_replica": ev["to_replica"],
+                    "attempt": ev["attempt"],
+                    "backoff": ev["backoff"],
+                },
+            )
+        elif kind == "fleet_breaker":
+            emitter.instant(
+                _SVC_PID,
+                ev["replica"] + _REPLICA_TID_BASE,
+                f"breaker:{ev['state']}",
+                "fleet.breaker",
+                ev["clock"],
+                {"replica": ev["replica"], "failures": ev["failures"]},
+            )
+        elif kind == "fleet_catchup":
+            emitter.instant(
+                _SVC_PID,
+                ev["replica"] + _REPLICA_TID_BASE,
+                "catchup",
+                "fleet.catchup",
+                ev["clock"],
+                {
+                    "replica": ev["replica"],
+                    "from_version": ev["from_version"],
+                    "to_version": ev["to_version"],
+                    "batches": ev["batches"],
+                    "audit_ok": ev["audit_ok"],
+                },
+            )
+
+
 def chrome_trace(tracer: Tracer) -> dict:
     """The tracer's log as a Chrome ``trace_event`` JSON object."""
     emitter = _Emitter()
     _emit_service(emitter, service_events(tracer.events))
+    _emit_fleet(emitter, fleet_events(tracer.events))
     for run in build_timeline(tracer.events):
         _emit_run(emitter, run)
     return {

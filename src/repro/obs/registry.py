@@ -195,6 +195,8 @@ class MetricsRegistry:
         supersteps = nbytes = messages = 0
         faults: dict[str, float] = {}
         queries = hits = rejected = updates = 0
+        routes = stale_routes = hedges = failovers = 0
+        breaker_opens = catchups = 0
         for ev in tracer.events:
             kind = ev["kind"]
             if kind == "run_begin":
@@ -216,6 +218,17 @@ class MetricsRegistry:
                 rejected += 1
             elif kind == "svc_update":
                 updates += 1
+            elif kind == "fleet_route":
+                routes += 1
+                stale_routes += bool(ev["stale"])
+            elif kind == "fleet_hedge":
+                hedges += 1
+            elif kind == "fleet_failover":
+                failovers += 1
+            elif kind == "fleet_breaker":
+                breaker_opens += ev["state"] == "open"
+            elif kind == "fleet_catchup":
+                catchups += 1
         reg.record(f"{prefix}.events", len(tracer.events))
         reg.record(f"{prefix}.runs", runs)
         reg.record(f"{prefix}.supersteps", supersteps)
@@ -230,4 +243,43 @@ class MetricsRegistry:
             reg.record(f"{prefix}.service.cache_hits", hits)
             reg.record(f"{prefix}.service.rejected", rejected)
             reg.record(f"{prefix}.service.updates", updates)
+        if routes or hedges or failovers or breaker_opens or catchups:
+            reg.record(f"{prefix}.fleet.routes", routes)
+            reg.record(f"{prefix}.fleet.stale_served", stale_routes)
+            reg.record(f"{prefix}.fleet.hedges", hedges)
+            reg.record(f"{prefix}.fleet.failovers", failovers)
+            reg.record(f"{prefix}.fleet.breaker_opens", breaker_opens)
+            reg.record(f"{prefix}.fleet.catchups", catchups)
+        return reg
+
+    @classmethod
+    def from_fleet(cls, report, prefix: str = "fleet") -> "MetricsRegistry":
+        """Consolidate a :class:`~repro.service.fleet.FleetReport`.
+
+        Accepts the report object or its ``as_dict()`` form. Per-replica
+        health lands under ``<prefix>.replica.<rid>.*``; each live
+        replica's full service report nests below that.
+        """
+        data = report if isinstance(report, dict) else report.as_dict()
+        reg = cls()
+        for key in sorted(data):
+            if key in ("replica_states", "faults"):
+                continue
+            value = data[key]
+            if value is None or isinstance(value, (int, float, str, bool)):
+                reg.record(f"{prefix}.{sanitize_segment(key)}", value)
+        reg.record_many(f"{prefix}.faults", data.get("faults", {}))
+        for state in data.get("replica_states", []):
+            base = f"{prefix}.replica.{sanitize_segment(state['replica'])}"
+            for key in sorted(state):
+                value = state[key]
+                if key == "service":
+                    if isinstance(value, dict):
+                        reg.merge(
+                            cls.from_service(value, prefix=f"{base}.service")
+                        )
+                elif value is None or isinstance(
+                    value, (int, float, str, bool)
+                ):
+                    reg.record(f"{base}.{sanitize_segment(key)}", value)
         return reg

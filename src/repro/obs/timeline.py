@@ -281,3 +281,8 @@ def build_timeline(events) -> list[RunTimeline]:
 def service_events(events) -> list[dict]:
     """The service-side raw events (svc_*), in emission order."""
     return [ev for ev in events if ev["kind"].startswith("svc_")]
+
+
+def fleet_events(events) -> list[dict]:
+    """The fleet-router raw events (fleet_*), in emission order."""
+    return [ev for ev in events if ev["kind"].startswith("fleet_")]

@@ -32,6 +32,11 @@ Span taxonomy (the ``kind`` field of raw events):
 ``svc_query``             one served query (queue wait + lane execution)
 ``svc_update``            one ΔG batch (drain, repair, re-warm)
 ``svc_standing``          cold registration of a standing query
+``fleet_route``           one fleet-served query (replica, outcome, staleness)
+``fleet_hedge``           a hedged duplicate dispatched to a second replica
+``fleet_failover``        a retry re-routed to a different replica
+``fleet_breaker``         a circuit breaker state transition
+``fleet_catchup``         a rejoining replica replayed its missed ΔG suffix
 ========================  ====================================================
 """
 
@@ -296,4 +301,99 @@ class Tracer:
             query_class=query_class,
             start=start,
             finish=finish,
+        )
+
+    # ------------------------------------------------------------------
+    # Fleet hooks (router over N service replicas; same simulated clock)
+    # ------------------------------------------------------------------
+    def fleet_route(
+        self,
+        seq: int,
+        query_class: str,
+        replica: int,
+        attempts: int,
+        outcome: str,
+        stale: bool,
+        staleness: int,
+        start: float,
+        finish: float,
+    ) -> None:
+        """One fleet-served query.
+
+        ``outcome`` is ``fresh`` / ``stale`` / ``hedged``; ``replica``
+        is the one whose answer won (-1 when the fleet fell back to its
+        degraded cache); ``staleness`` counts graph versions behind.
+        """
+        self._emit(
+            "fleet_route",
+            seq=seq,
+            query_class=query_class,
+            replica=replica,
+            attempts=attempts,
+            outcome=outcome,
+            stale=stale,
+            staleness=staleness,
+            start=start,
+            finish=finish,
+        )
+
+    def fleet_hedge(
+        self, seq: int, primary: int, secondary: int, winner: int,
+        clock: float,
+    ) -> None:
+        """A hedged duplicate: the slow primary raced a second replica."""
+        self._emit(
+            "fleet_hedge",
+            seq=seq,
+            primary=primary,
+            secondary=secondary,
+            winner=winner,
+            clock=clock,
+        )
+
+    def fleet_failover(
+        self, seq: int, from_replica: int, to_replica: int, attempt: int,
+        backoff: float, clock: float,
+    ) -> None:
+        """A failed attempt re-routed to a different replica."""
+        self._emit(
+            "fleet_failover",
+            seq=seq,
+            from_replica=from_replica,
+            to_replica=to_replica,
+            attempt=attempt,
+            backoff=backoff,
+            clock=clock,
+        )
+
+    def fleet_breaker(
+        self, replica: int, state: str, failures: int, clock: float
+    ) -> None:
+        """A circuit breaker transition (closed / open / half_open)."""
+        self._emit(
+            "fleet_breaker",
+            replica=replica,
+            state=state,
+            failures=failures,
+            clock=clock,
+        )
+
+    def fleet_catchup(
+        self,
+        replica: int,
+        from_version: int,
+        to_version: int,
+        batches: int,
+        audit_ok: bool,
+        clock: float,
+    ) -> None:
+        """A rejoining replica replayed its missed ΔG suffix."""
+        self._emit(
+            "fleet_catchup",
+            replica=replica,
+            from_version=from_version,
+            to_version=to_version,
+            batches=batches,
+            audit_ok=audit_ok,
+            clock=clock,
         )

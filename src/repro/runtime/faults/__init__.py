@@ -19,6 +19,7 @@ from repro.runtime.faults.plan import (
     FaultPlan,
     FaultSpec,
     StragglerFault,
+    UpdateLagFault,
 )
 
 __all__ = [
@@ -31,4 +32,5 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "StragglerFault",
+    "UpdateLagFault",
 ]

@@ -33,6 +33,7 @@ from repro.runtime.faults.plan import (
     DuplicateFault,
     FaultPlan,
     StragglerFault,
+    UpdateLagFault,
 )
 from repro.runtime.message import COORDINATOR, Message
 from repro.runtime.metrics import FaultCounters
@@ -125,6 +126,31 @@ class FaultInjector:
                 self.counters.straggler_delay += fault.delay
                 delay += fault.delay
         return delay
+
+    # ------------------------------------------------------------------
+    # Hook: FleetRouter.apply_updates fan-out
+    # ------------------------------------------------------------------
+    def on_update(self, worker: int, epoch: int) -> int:
+        """Consulted when update batch ``epoch`` is fanned out to a replica.
+
+        Returns the number of consecutive batches the replica falls
+        behind (0 = applies the batch normally). The replica keeps
+        serving from its stale version; the router's catch-up replay is
+        what eventually closes the gap.
+        """
+        lag = 0
+        for i, fault in enumerate(self.plan.faults):
+            if not isinstance(fault, UpdateLagFault):
+                continue
+            if not self._worker_in_scope(fault, worker):
+                continue
+            if fault.at_epoch is not None and epoch < fault.at_epoch:
+                continue
+            if not self._fires(i, fault, fault.at_epoch is not None):
+                continue
+            self.counters.update_lags_injected += 1
+            lag += fault.lag
+        return lag
 
     # ------------------------------------------------------------------
     # Hook: MPIController.flush

@@ -3,8 +3,8 @@
 A :class:`FaultPlan` is a list of fault specs plus an RNG seed. The
 engine turns it into a :class:`~repro.runtime.faults.injector.FaultInjector`
 (one per run, so a plan can be reused across runs and always replays the
-same fault schedule). Five fault classes mirror what real BSP clusters
-suffer:
+same fault schedule). Six fault classes mirror what real BSP clusters
+and serving fleets suffer:
 
 * :class:`CrashFault` — a worker dies mid-compute. ``fatal=False``
   models a flaky node the supervisor retries; ``fatal=True`` models
@@ -15,6 +15,10 @@ suffer:
   (detected by the receiver's checksum, never silently applied).
 * :class:`StragglerFault` — a worker's compute is delayed; the delay is
   charged through the cost model like real compute time.
+* :class:`UpdateLagFault` — a serving replica falls behind on ΔG
+  batches: it keeps answering queries, but from an older graph version,
+  until catch-up replay brings it back (consulted by the fleet router,
+  not the engine).
 
 Every spec fires either deterministically (``at_superstep``) or
 stochastically (``probability`` per opportunity, drawn from the plan's
@@ -90,6 +94,44 @@ class StragglerFault:
 
 
 @dataclass(frozen=True)
+class UpdateLagFault:
+    """A serving replica falls behind on ΔG batches.
+
+    Fleet-level fault: consulted by the router's
+    :meth:`~repro.runtime.faults.injector.FaultInjector.on_update` hook
+    when an update batch is fanned out to a replica. A firing means the
+    replica defers applying that batch (and the ``lag - 1`` after it),
+    so it keeps serving — correctly, but from a stale graph version —
+    until catch-up replay brings it back into step.
+
+    Attributes:
+        worker: target replica id (None = any replica).
+        at_epoch: fire at the first matching fan-out at or after this
+            update-batch index (None = any epoch).
+        probability: per-fan-out chance of firing.
+        lag: number of consecutive batches the replica misses (>= 1).
+        times: maximum number of firings (None = unlimited).
+    """
+
+    kind: ClassVar[str] = "update_lag"
+
+    worker: int | None = None
+    at_epoch: int | None = None
+    probability: float = 0.0
+    lag: int = 1
+    times: int | None = 1
+
+    def __post_init__(self) -> None:
+        _check_probability(self.probability)
+        if self.lag < 1:
+            raise ProgramError(f"update lag must be >= 1, got {self.lag}")
+        if self.at_epoch is None and self.probability == 0.0:
+            raise ProgramError(
+                "update-lag fault needs at_epoch and/or probability"
+            )
+
+
+@dataclass(frozen=True)
 class _MessageFault:
     """Common scope of the wire-level faults (src/dst = None matches any)."""
 
@@ -126,11 +168,14 @@ class CorruptFault(_MessageFault):
 #: Every concrete fault spec class, keyed by its JSON ``kind``.
 FAULT_KINDS = {
     cls.kind: cls
-    for cls in (CrashFault, StragglerFault, DropFault, DuplicateFault,
-                CorruptFault)
+    for cls in (CrashFault, StragglerFault, UpdateLagFault, DropFault,
+                DuplicateFault, CorruptFault)
 }
 
-FaultSpec = CrashFault | StragglerFault | DropFault | DuplicateFault | CorruptFault
+FaultSpec = (
+    CrashFault | StragglerFault | UpdateLagFault | DropFault
+    | DuplicateFault | CorruptFault
+)
 
 
 @dataclass(frozen=True)

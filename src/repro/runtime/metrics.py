@@ -25,6 +25,8 @@ class FaultCounters:
     duplicates_injected: int = 0
     corruptions_injected: int = 0
     stragglers_injected: int = 0
+    #: Update-lag faults fired at serving replicas (fleet-level).
+    update_lags_injected: int = 0
     #: Simulated seconds of straggler delay charged through the cost model.
     straggler_delay: float = 0.0
     #: Supervisor activity.
@@ -47,6 +49,7 @@ class FaultCounters:
             + self.duplicates_injected
             + self.corruptions_injected
             + self.stragglers_injected
+            + self.update_lags_injected
         )
 
     @property
@@ -69,6 +72,7 @@ class FaultCounters:
             "duplicates_injected": self.duplicates_injected,
             "corruptions_injected": self.corruptions_injected,
             "stragglers_injected": self.stragglers_injected,
+            "update_lags_injected": self.update_lags_injected,
             "straggler_delay": self.straggler_delay,
             "retries": self.retries,
             "backoff_time": self.backoff_time,

@@ -10,10 +10,22 @@
 * :mod:`metrics` — deterministic :class:`ServiceReport` (latency
   percentiles from simulated time, cache traffic, ΔG work ratios);
 * :mod:`trace` — JSON workload traces and their replay
-  (``grape serve``).
+  (``grape serve``);
+* :mod:`fleet` — :class:`FleetRouter`: N replicated services behind a
+  deterministic router with failover, deadlines, hedging, circuit
+  breakers, stale-tagged degraded answers and checkpoint + journal
+  replica recovery (``grape serve --replicas``).
 """
 
 from repro.service.cache import ResultCache, cache_key
+from repro.service.fleet import (
+    FleetReport,
+    FleetResult,
+    FleetRouter,
+    build_fleet,
+    default_chaos_plan,
+    replay_fleet_trace,
+)
 from repro.service.metrics import ServiceReport, percentile, run_cost
 from repro.service.scheduler import DEFAULT_PRIORITY, QueryRequest
 from repro.service.service import (
@@ -32,6 +44,12 @@ __all__ = [
     "ServiceReport",
     "QueryRequest",
     "DEFAULT_PRIORITY",
+    "FleetRouter",
+    "FleetReport",
+    "FleetResult",
+    "build_fleet",
+    "default_chaos_plan",
+    "replay_fleet_trace",
     "cache_key",
     "percentile",
     "run_cost",

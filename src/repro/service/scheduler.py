@@ -71,6 +71,15 @@ class LaneClock:
         """Mark ``lane`` busy until simulated time ``until``."""
         self.free_at[lane] = until
 
+    def busy_at(self, now: float) -> int:
+        """Lanes still executing at simulated time ``now``.
+
+        Admission control counts these toward the service's load: a
+        query on a lane consumes capacity just as surely as one waiting
+        in the queue.
+        """
+        return sum(1 for free in self.free_at if free > now)
+
     @property
     def horizon(self) -> float:
         """When every lane is free again (the drain's finish time)."""
@@ -103,16 +112,21 @@ class AdmissionQueue:
         self._next_seq += 1
         return seq
 
-    def admit(self, request: QueryRequest) -> None:
-        """Enqueue ``request`` or shed it with a typed overload error."""
-        if len(self._pending) >= self.capacity:
+    def admit(self, request: QueryRequest, in_flight: int = 0) -> None:
+        """Enqueue ``request`` or shed it with a typed overload error.
+
+        ``in_flight`` counts requests already dispatched onto lanes but
+        not yet finished at submit time; they occupy service capacity
+        exactly like queued ones, so the bound applies to the sum.
+        """
+        if len(self._pending) + in_flight >= self.capacity:
             self.rejected += 1
             raise ServiceOverloadedError(
-                f"admission queue full ({len(self._pending)}/"
-                f"{self.capacity} pending); request "
+                f"admission queue full ({len(self._pending)} pending + "
+                f"{in_flight} in flight / {self.capacity}); request "
                 f"{request.query_class!r} from {request.client!r} shed — "
                 "drain the service or raise max_pending",
-                queue_depth=len(self._pending),
+                queue_depth=len(self._pending) + in_flight,
                 capacity=self.capacity,
             )
         self._pending.append(request)

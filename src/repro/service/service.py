@@ -148,6 +148,9 @@ class GrapeService:
         program_kwargs: per-query-class constructor kwargs (e.g.
             ``{"pagerank": {"total_vertices": n}}``); pagerank's
             ``total_vertices`` is defaulted from the graph automatically.
+        initial_version: starting graph version. A restored fleet
+            replica resumes at its checkpoint's version so journal
+            catch-up and cache keys stay aligned with the fleet.
     """
 
     def __init__(
@@ -160,6 +163,7 @@ class GrapeService:
         hit_cost: float = 1e-4,
         rewarm_hottest: int = 0,
         program_kwargs: dict[str, dict] | None = None,
+        initial_version: int = 1,
         tracer=None,
     ) -> None:
         self.session = session
@@ -179,7 +183,11 @@ class GrapeService:
             )
         self._rewarm_hottest = rewarm_hottest
         self._program_kwargs = dict(program_kwargs or {})
-        self._version = 1
+        if initial_version < 1:
+            raise ServiceError(
+                f"initial_version must be >= 1, got {initial_version}"
+            )
+        self._version = initial_version
         self._clock = 0.0
         self._pending_queries: dict[int, object] = {}
         self._standing: dict[str, StandingQuery] = {}
@@ -240,7 +248,9 @@ class GrapeService:
             cacheable=cacheable,
         )
         try:
-            self._queue.admit(request)
+            self._queue.admit(
+                request, in_flight=self._lanes.busy_at(self._clock)
+            )
         except ServiceError:
             stats.rejected += 1
             if self._tracer is not None:
@@ -258,48 +268,86 @@ class GrapeService:
             )
         return request.seq
 
-    def drain(self) -> dict[int, ServedResult]:
+    def drain(self, mode: str = "batch") -> dict[int, ServedResult]:
         """Dispatch every pending request; returns ticket -> result.
 
-        Requests run in ``(priority, admission order)`` on the earliest
-        free simulated lane; the service clock advances to the point
-        where every lane is idle again.
+        ``mode="batch"`` (the default) dispatches in strict
+        ``(priority, admission order)`` onto the earliest free simulated
+        lane — the whole backlog is treated as one admission instant.
+        ``mode="event"`` replays the timeline honestly: admissions
+        interleave with lane completions, so a request is only eligible
+        once its submit time has been reached, and an urgent request
+        that arrives after a lane already started cannot retroactively
+        preempt it. When every pending request shares one submit time
+        the two modes dispatch identically. Either way the service
+        clock advances to the point where every lane is idle again.
         """
-        results: dict[int, ServedResult] = {}
-        for request in self._queue.take_all():
-            query = self._pending_queries.pop(request.seq)
-            lane, start = self._lanes.start(request.submit_time)
-            answer, cost, from_cache = self._execute(request, query)
-            finish = start + cost
-            self._lanes.occupy(lane, finish)
-            stats = self._class_stats(request.query_class)
-            stats.completed += 1
-            stats.latencies.append(finish - request.submit_time)
-            if from_cache:
-                stats.cache_hits += 1
-            results[request.seq] = ServedResult(
-                seq=request.seq,
-                query_class=request.query_class,
-                answer=answer,
-                from_cache=from_cache,
-                latency=finish - request.submit_time,
-                version=self._version,
-                cost=cost,
+        if mode not in ("batch", "event"):
+            raise ServiceError(
+                f"unknown drain mode {mode!r}; use 'batch' or 'event'"
             )
-            if self._tracer is not None:
-                self._tracer.svc_query(
-                    request.seq,
-                    request.query_class,
-                    lane=lane,
-                    submit=request.submit_time,
-                    start=start,
-                    finish=finish,
-                    from_cache=from_cache,
-                    cost=cost,
-                    version=self._version,
-                )
+        results: dict[int, ServedResult] = {}
+        if mode == "batch":
+            for request in self._queue.take_all():
+                results[request.seq] = self._dispatch(request)
+        else:
+            remaining = self._queue.take_all()
+            while remaining:
+                # The next dispatch happens when a lane frees up — or,
+                # if nothing has arrived by then, when the next request
+                # is admitted.
+                now = min(self._lanes.free_at)
+                arrived = [r for r in remaining if r.submit_time <= now]
+                if not arrived:
+                    now = min(r.submit_time for r in remaining)
+                    arrived = [r for r in remaining if r.submit_time <= now]
+                request = min(arrived, key=lambda r: r.order_key)
+                remaining.remove(request)
+                results[request.seq] = self._dispatch(request)
         self._clock = max(self._clock, self._lanes.horizon)
         return results
+
+    def _dispatch(self, request: QueryRequest) -> ServedResult:
+        """Run one admitted request on the earliest free lane."""
+        query = self._pending_queries.pop(request.seq)
+        lane, start = self._lanes.start(request.submit_time)
+        answer, cost, from_cache = self._execute(request, query)
+        finish = start + cost
+        self._lanes.occupy(lane, finish)
+        stats = self._class_stats(request.query_class)
+        stats.completed += 1
+        stats.latencies.append(finish - request.submit_time)
+        if from_cache:
+            stats.cache_hits += 1
+        if self._tracer is not None:
+            self._tracer.svc_query(
+                request.seq,
+                request.query_class,
+                lane=lane,
+                submit=request.submit_time,
+                start=start,
+                finish=finish,
+                from_cache=from_cache,
+                cost=cost,
+                version=self._version,
+            )
+        return ServedResult(
+            seq=request.seq,
+            query_class=request.query_class,
+            answer=answer,
+            from_cache=from_cache,
+            latency=finish - request.submit_time,
+            version=self._version,
+            cost=cost,
+        )
+
+    def advance(self, to: float) -> None:
+        """Advance the simulated clock (no-op when ``to`` is in the past).
+
+        Lets a workload replay space admissions out in time, which is
+        what makes ``drain(mode="event")`` diverge from batch order.
+        """
+        self._clock = max(self._clock, float(to))
 
     def query(
         self,

@@ -12,7 +12,7 @@ A trace is one JSON object::
       ],
       "ops": [
         {"op": "query", "class": "sssp", "params": {"source": 0},
-         "client": "c1", "priority": 2, "repeat": 3},
+         "client": "c1", "priority": 2, "repeat": 3, "at": 0.25},
         {"op": "drain"},
         {"op": "update", "edges": [[0, 57, 0.5]],
          "deletes": [[3, 4]], "reweights": [[5, 6, 2.5]],
@@ -108,6 +108,7 @@ def replay_trace(
     max_queries: int | None = None,
     verify: bool | None = None,
     tracer=None,
+    mode: str = "batch",
 ) -> tuple[GrapeService, ServiceReport]:
     """Replay a trace and return ``(service, final report)``.
 
@@ -116,6 +117,11 @@ def replay_trace(
     truncated replay stays cheap. ``verify`` overrides every update
     op's own ``verify`` flag when not None. ``tracer`` (ignored when a
     pre-built ``service`` is passed) records the replay for export.
+    ``mode`` selects the drain discipline — ``"batch"`` (default)
+    sorts each backlog purely by priority, ``"event"`` interleaves
+    admissions with lane completions; a query op's optional ``"at"``
+    advances the service clock before submitting, which is what gives
+    requests distinct arrival times for event mode to honor.
     """
     if service is None:
         service = build_service(trace, graph_spec, tracer=tracer)
@@ -129,6 +135,8 @@ def replay_trace(
     for op in trace["ops"]:
         kind = op["op"]
         if kind == "query":
+            if "at" in op:
+                service.advance(float(op["at"]))
             for _ in range(int(op.get("repeat", 1))):
                 if max_queries is not None and queries_sent >= max_queries:
                     break
@@ -143,7 +151,7 @@ def replay_trace(
                 except ServiceOverloadedError:
                     pass  # shed; counted in the report
         elif kind == "drain":
-            service.drain()
+            service.drain(mode=mode)
         elif kind == "update":
             if max_queries is not None and queries_sent >= max_queries:
                 continue
@@ -153,5 +161,5 @@ def replay_trace(
                 deletes=op.get("deletes", ()),
                 reweights=op.get("reweights", ()),
             )
-    service.drain()
+    service.drain(mode=mode)
     return service, service.report()

@@ -1,0 +1,46 @@
+"""Fixture: a clean program over a custom aggregator.
+
+The inline ``Aggregator("widest", max, INCREASING)`` resolves to an
+increasing direction via inference, so the direction-dependent rules
+*do* run — and find nothing, because every published value moves up
+the order. Pairs with ``viol_grp101_custom_agg.py``.
+"""
+
+from repro.core.aggregators import Aggregator
+from repro.core.partial_order import INCREASING
+from repro.core.pie import ParamSpec, PIEProgram
+
+
+class CleanCustomAggProgram(PIEProgram):
+    name = "fixture-clean-custom-agg"
+
+    def param_spec(self, query):
+        return ParamSpec(
+            aggregator=Aggregator("widest", max, INCREASING),
+            default=0.0,
+        )
+
+    def peval(self, fragment, query, params):
+        widest = {}
+        if query.source in fragment.graph:
+            widest[query.source] = float("inf")
+        for v in fragment.border:
+            if widest.get(v, 0.0) > 0.0:
+                params.improve(v, widest[v])
+        return widest
+
+    def inceval(self, fragment, query, partial, params, changed):
+        seeds = {v: params.get(v) for v in changed}
+        for v, cap in seeds.items():
+            if cap > partial.get(v, 0.0):
+                partial[v] = cap
+                params.improve(v, cap)
+        return partial
+
+    def assemble(self, query, partials):
+        best = {}
+        for partial in partials:
+            for v, cap in partial.items():
+                if cap > best.get(v, 0.0):
+                    best[v] = cap
+        return best

@@ -1,0 +1,45 @@
+"""Fixture: GRP101 through a custom aggregator.
+
+``FASTEST`` is not one of the built-in aggregator constants, so the
+old inspector resolved its direction to "unknown" and every
+direction-dependent rule silently skipped the program. Type-aware
+inference now reads the ``Aggregator(name, combine, order)``
+construction: the ``DECREASING`` order pins the direction, and the
+``max(...)`` published in peval is flagged just as it would be under
+``MIN``.
+"""
+
+from repro.core.aggregators import Aggregator
+from repro.core.partial_order import DECREASING
+from repro.core.pie import ParamSpec, PIEProgram
+
+
+def _faster(cur, new):
+    return new if new < cur else cur
+
+
+FASTEST = Aggregator("fastest", _faster, DECREASING)
+
+
+class CustomAggProgram(PIEProgram):
+    name = "fixture-grp101-custom-agg"
+
+    def param_spec(self, query):
+        return ParamSpec(aggregator=FASTEST, default=None)
+
+    def peval(self, fragment, query, params):
+        dist = {}
+        for v in fragment.border:
+            params.improve(v, max(dist.get(v, 0), 1))  # contradicts FASTEST
+        return dist
+
+    def inceval(self, fragment, query, partial, params, changed):
+        for v in changed:
+            params.improve(v, partial.get(v, 0))
+        return partial
+
+    def assemble(self, query, partials):
+        out = {}
+        for partial in partials:
+            out.update(partial)
+        return out

@@ -14,6 +14,7 @@ FIXTURES = Path(__file__).parent / "fixtures"
 
 EXPECTED = {
     "viol_grp101.py": "GRP101",
+    "viol_grp101_custom_agg.py": "GRP101",
     "viol_grp101_helper.py": "GRP101",
     "viol_grp102.py": "GRP102",
     "viol_grp201.py": "GRP201",
@@ -51,6 +52,91 @@ def test_every_static_rule_has_a_fixture() -> None:
 
 def test_clean_program_reports_nothing() -> None:
     assert analyze_path(str(FIXTURES / "clean_widest.py")) == []
+
+
+def test_clean_custom_aggregator_is_checked_not_skipped() -> None:
+    # The pair to viol_grp101_custom_agg.py: the custom aggregator's
+    # direction resolves (so direction rules DO run) and the program
+    # is genuinely clean — not silently skipped as "unknown".
+    from repro.analysis.inspector import inspect_source
+
+    path = FIXTURES / "clean_custom_agg.py"
+    info = inspect_source(path.read_text(), str(path))
+    assert info.programs[0].aggregator.direction == "increasing"
+    assert analyze_path(str(path)) == []
+
+
+def test_custom_aggregator_direction_inference() -> None:
+    # Type-aware inference from Aggregator(name, combine, order):
+    # the order constant wins; a builtin combine pins the direction
+    # when the order expression is unrecognisable; otherwise the
+    # direction stays "unknown" as before.
+    from repro.analysis.inspector import inspect_source
+
+    def program_with(defs: str, agg: str) -> str:
+        return (
+            "from repro.core.aggregators import Aggregator\n"
+            "from repro.core.partial_order import (\n"
+            "    DECREASING, GROWING_SET, PartialOrder)\n"
+            "from repro.core.pie import ParamSpec, PIEProgram\n"
+            f"{defs}"
+            "class InferProgram(PIEProgram):\n"
+            "    def param_spec(self, query):\n"
+            f"        return ParamSpec(aggregator={agg}, default=None)\n"
+            "    def peval(self, fragment, query, params):\n"
+            "        return {}\n"
+            "    def inceval(self, fragment, query, partial, params, changed):\n"
+            "        return partial\n"
+            "    def assemble(self, query, partials):\n"
+            "        return partials\n"
+        )
+
+    def direction_of(defs: str, agg: str) -> str:
+        info = inspect_source(program_with(defs, agg))
+        return info.programs[0].aggregator.direction
+
+    # Order constant on a module-level custom aggregator.
+    assert direction_of(
+        "FASTEST = Aggregator('fastest', lambda c, n: min(c, n), DECREASING)\n",
+        "FASTEST",
+    ) == "decreasing"
+    assert direction_of(
+        "MATCHES = Aggregator('matches', frozenset.union, GROWING_SET)\n",
+        "MATCHES",
+    ) == "growing"
+    # Builtin combine decides when the order is a computed expression.
+    assert direction_of(
+        "SMALLEST = Aggregator(\n"
+        "    'smallest', min, PartialOrder('d', lambda a, b: b < a))\n",
+        "SMALLEST",
+    ) == "decreasing"
+    # Keyword form.
+    assert direction_of(
+        "BIGGEST = Aggregator('biggest', combine=max,\n"
+        "                     order=PartialOrder('i', lambda a, b: b > a))\n",
+        "BIGGEST",
+    ) == "increasing"
+    # Neither recognisable: stays unknown (rules skip, as before).
+    assert direction_of(
+        "def _blend(cur, new):\n"
+        "    return (cur + new) / 2\n"
+        "MEAN = Aggregator('mean', _blend, PartialOrder('x', lambda a, b: True))\n",
+        "MEAN",
+    ) == "unknown"
+    # Inline construction right in the ParamSpec call.
+    assert direction_of(
+        "", "Aggregator('fastest', lambda c, n: min(c, n), DECREASING)"
+    ) == "decreasing"
+
+
+def test_custom_aggregator_direction_enables_grp101() -> None:
+    # Before inference, a custom aggregator meant direction "unknown"
+    # and the max-under-decreasing defect sailed through unflagged.
+    findings = active(
+        analyze_path(str(FIXTURES / "viol_grp101_custom_agg.py"))
+    )
+    assert [f.code for f in findings] == ["GRP101"]
+    assert "decreasing" in findings[0].message
 
 
 def test_pragma_suppresses_finding() -> None:

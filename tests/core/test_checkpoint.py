@@ -174,6 +174,79 @@ def test_run_incremental_checkpoints_on_same_cadence(tmp_path):
     assert len(state.partials) == 4
 
 
+def test_torn_pointer_with_keep_pruning_recovers_newest_survivor(tmp_path):
+    """Torn pointer + keep= pruning combined.
+
+    The fallback scan must land on the newest *surviving* snapshot of
+    the pruned retention window, and an intact pointer naming a blob
+    that pruning already deleted must not resurrect it.
+    """
+    g = road_network(12, 12, seed=2, removal_prob=0.0)
+    dfs = SimulatedDFS(tmp_path)
+    policy = CheckpointPolicy(dfs, every=1, tag="tornprune", keep=2)
+    engine = _engine(g)
+    engine.run(SSSPProgram(), SSSPQuery(source=0), checkpoint=policy)
+    saved = policy.rounds_saved()
+    assert len(saved) == 2  # pruned down to the retention window
+    assert saved[0] > 1  # earlier rounds existed and were pruned
+
+    # Pointer torn mid-write: fall back to the newest surviving file.
+    dfs.put("checkpoints/tornprune/latest.json", b'{"round": ')
+    latest_round, state = policy.load_latest()
+    assert latest_round == saved[-1]
+    assert len(state.partials) == 4
+
+    # Pointer intact but naming a round the keep= pruning deleted:
+    # the retention window wins, not the stale pointer.
+    pruned = saved[0] - 1
+    dfs.put_json(
+        "checkpoints/tornprune/latest.json",
+        {"round": pruned,
+         "path": f"checkpoints/tornprune/round-{pruned:06d}.pkl"},
+    )
+    latest_round, state = policy.load_latest()
+    assert latest_round == saved[-1]
+
+    # Saving from the recovered position keeps the window sliding.
+    policy.save(latest_round + 1, state)
+    assert policy.rounds_saved() == [saved[-1], latest_round + 1]
+
+
+def test_run_incremental_crash_resumes_from_checkpoint(tmp_path):
+    """A crash mid-ΔG repair resumes from the incremental run's own
+    snapshots and still reaches the recomputation answer."""
+    from repro.core.incremental import EdgeInsertion
+
+    g = road_network(12, 12, seed=3, removal_prob=0.0)
+    engine = _engine(g)
+    first = engine.run(SSSPProgram(), SSSPQuery(source=0), keep_state=True)
+
+    policy = CheckpointPolicy(SimulatedDFS(tmp_path), every=1, tag="incres")
+    corner = max(g.vertices())
+    shortcut = EdgeInsertion(0, corner, first.answer[corner] / 2)
+    g.add_edge(0, corner, shortcut.weight)
+    crashy = CrashingSSSP(crash_at_call=3)  # dies in repair round 2
+    with pytest.raises(ConnectionError):
+        engine.run_incremental(
+            crashy, SSSPQuery(source=0), first.state, [shortcut],
+            checkpoint=policy,
+        )
+    assert policy.rounds_saved()  # at least one ΔG round snapshotted
+
+    recovered = engine.resume_from_checkpoint(
+        SSSPProgram(), SSSPQuery(source=0), policy
+    )
+    oracle = single_source(g, 0)
+    assert recovered.answer[corner] == pytest.approx(
+        first.answer[corner] / 2
+    )
+    for v in g.vertices():
+        got = recovered.answer.get(v, INF)
+        assert got == pytest.approx(oracle[v]) or (
+            got == INF and oracle[v] == INF
+        )
+
+
 def test_checkpointing_continues_through_recovery(tmp_path):
     """In-run recovery keeps snapshotting the post-recovery rounds."""
     from repro.runtime.faults import CrashFault, FaultPlan

@@ -10,6 +10,7 @@ from repro.runtime.faults import (
     DuplicateFault,
     FaultPlan,
     StragglerFault,
+    UpdateLagFault,
 )
 from repro.runtime.message import COORDINATOR
 from repro.runtime.mpi_sim import MPIController
@@ -46,10 +47,49 @@ def test_plan_json_round_trip():
             DropFault(src=0, dst=1, probability=0.5, times=4),
             DuplicateFault(probability=0.1),
             CorruptFault(dst=COORDINATOR),
+            UpdateLagFault(worker=1, at_epoch=2, lag=3, times=None),
         ),
         seed=42,
     )
     assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+
+def test_update_lag_fault_validation():
+    with pytest.raises(ProgramError, match="at_epoch"):
+        UpdateLagFault()
+    with pytest.raises(ProgramError, match="lag"):
+        UpdateLagFault(at_epoch=0, lag=0)
+    with pytest.raises(ProgramError, match="probability"):
+        UpdateLagFault(probability=2.0)
+
+
+def test_on_update_scopes_by_replica_and_epoch():
+    plan = FaultPlan(
+        faults=(UpdateLagFault(worker=1, at_epoch=2, lag=3, times=1),),
+        seed=0,
+    )
+    injector = plan.injector()
+    assert injector.on_update(0, 2) == 0  # wrong replica
+    assert injector.on_update(1, 1) == 0  # before the epoch
+    assert injector.on_update(1, 2) == 3  # fires: replica falls behind
+    assert injector.on_update(1, 3) == 0  # times=1 budget spent
+    assert injector.counters.update_lags_injected == 1
+
+
+def test_on_update_probability_is_seed_deterministic():
+    plan = FaultPlan(
+        faults=(UpdateLagFault(probability=0.5, lag=2, times=None),),
+        seed=9,
+    )
+    def schedule(injector):
+        return [injector.on_update(w, e) for w in range(3)
+                for e in range(4)]
+
+    schedule_a = schedule(plan.injector())
+    schedule_b = schedule(plan.injector())
+    assert schedule_a == schedule_b
+    assert any(lag == 2 for lag in schedule_a)  # fires sometimes
+    assert any(lag == 0 for lag in schedule_a)  # but not always
 
 
 def test_from_dict_rejects_junk():

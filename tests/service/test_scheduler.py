@@ -77,6 +77,21 @@ def test_queue_capacity_must_be_positive():
         AdmissionQueue(capacity=0)
 
 
+def test_admit_counts_in_flight_lane_occupancy():
+    # Regression: a request already running on a lane consumes service
+    # capacity exactly like a queued one — a full LaneClock with an
+    # empty queue must still backpressure.
+    queue = AdmissionQueue(capacity=1)
+    request = QueryRequest(seq=queue.next_seq(), query_class="cc", params={})
+    with pytest.raises(ServiceOverloadedError, match="in flight") as excinfo:
+        queue.admit(request, in_flight=1)
+    assert queue.depth == 0  # nothing queued — the lane alone filled it
+    assert queue.rejected == 1
+    assert excinfo.value.queue_depth == 1
+    queue.admit(request, in_flight=0)  # lane freed: same request admits
+    assert queue.depth == 1
+
+
 # ------------------------------------------------------------ simulated lanes
 def test_lanes_run_work_concurrently():
     lanes = LaneClock(concurrency=2)
@@ -96,6 +111,14 @@ def test_lane_start_respects_ready_time():
     lanes = LaneClock(concurrency=1)
     _, start = lanes.start(7.5)
     assert start == 7.5
+
+
+def test_busy_at_counts_lanes_still_executing():
+    lanes = LaneClock(concurrency=2)
+    lanes.occupy(0, 5.0)
+    assert lanes.busy_at(0.0) == 1
+    assert lanes.busy_at(4.999) == 1
+    assert lanes.busy_at(5.0) == 0  # freeing exactly now is not busy
 
 
 def test_concurrency_must_be_positive():

@@ -90,6 +90,51 @@ def test_bundled_trace_meets_serving_criteria():
     assert service.version == 4  # three update batches past version 1
 
 
+def test_event_replay_identical_totals_on_non_interleaving_trace():
+    # The bundled trace never spaces admissions out in time ("at"), so
+    # every backlog is one admission instant: the event-driven replay
+    # must produce a byte-identical report to the batch default.
+    _, batch = replay_trace(load_trace(str(TRACE)), verify=False)
+    _, event = replay_trace(
+        load_trace(str(TRACE)), verify=False, mode="event"
+    )
+    assert batch.to_json() == event.to_json()
+
+
+def test_event_replay_diverges_with_spaced_arrivals(tmp_path):
+    # With "at" giving the urgent request a later arrival and one lane,
+    # event mode cannot retroactively preempt the request the lane
+    # already started — so latencies (and only latencies) diverge.
+    spec = {
+        "graph": "road:6x6",
+        "workers": 2,
+        "service": {"concurrency": 1},
+        "ops": [
+            {"op": "query", "class": "sssp", "params": {"source": 0}},
+            {"op": "query", "class": "sssp", "params": {"source": 1}},
+            {"op": "query", "class": "bfs", "params": {"source": 0},
+             "priority": 1, "at": 1e-6},
+        ],
+    }
+    path = tmp_path / "spaced.json"
+    path.write_text(json.dumps(spec))
+    _, batch = replay_trace(load_trace(str(path)))
+    _, event = replay_trace(load_trace(str(path)), mode="event")
+    for report in (batch, event):
+        assert report.classes["sssp"]["completed"] == 2
+        assert report.classes["bfs"]["completed"] == 1
+    # Batch serves the urgent bfs first; event makes it wait for the
+    # sssp run the lane started before it arrived.
+    assert event.classes["bfs"]["latency_max"] > (
+        batch.classes["bfs"]["latency_max"]
+    )
+
+
+def test_replay_rejects_unknown_mode():
+    with pytest.raises(GrapeError, match="drain mode"):
+        replay_trace(load_trace(str(TRACE)), max_queries=1, mode="turbo")
+
+
 def test_max_queries_truncates_cheaply():
     trace = load_trace(str(TRACE))
     _, report = replay_trace(trace, max_queries=3)
