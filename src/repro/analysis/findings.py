@@ -13,6 +13,9 @@ from runtime checks, and tabulated in docs. Families:
   across the superstep barrier, no nondeterminism sources that would make
   supersteps irreproducible.
 * ``GRP4xx`` — contract checks on the PIE declarations themselves.
+* ``GRP5xx`` — pickle safety: program state that cannot be shipped to
+  the process execution backend's workers (lambdas, local closures,
+  open OS handles stored on the program object).
 
 ``GRP100`` is special: it is the *runtime* monotonicity check performed
 by :class:`repro.core.assurance.MonotonicityChecker`; it appears here so
@@ -197,6 +200,33 @@ _RULES = (
         "raises at runtime; implement delta_seeds/repair_partial "
         "(non-monotone repair) or classify deletions as safe and handle "
         "op.kind == 'delete' in on_graph_update",
+    ),
+    RuleInfo(
+        "GRP501",
+        "pickle-safety",
+        "warning",
+        "lambda stored on the program object",
+        "the process backend pickles the whole program to its workers; "
+        "replace the lambda with a module-level named function (see "
+        "repro.core.aggregators for the idiom)",
+    ),
+    RuleInfo(
+        "GRP502",
+        "pickle-safety",
+        "warning",
+        "local closure stored on the program object",
+        "functions defined inside a method close over its locals and "
+        "cannot be pickled; hoist the helper to module level and pass "
+        "state explicitly",
+    ),
+    RuleInfo(
+        "GRP503",
+        "pickle-safety",
+        "warning",
+        "open OS handle stored on the program object",
+        "files, sockets, locks and subprocesses cannot cross a process "
+        "boundary; open handles inside the method that uses them, or "
+        "keep them off the program object",
     ),
 )
 

@@ -12,10 +12,16 @@ from typing import Iterator
 from repro.analysis.findings import Finding
 from repro.analysis.inline import inline_helpers
 from repro.analysis.inspector import ModuleInfo
-from repro.analysis.rules import aggregator, boundedness, contract, isolation
+from repro.analysis.rules import (
+    aggregator,
+    boundedness,
+    contract,
+    isolation,
+    pickle_safety,
+)
 
 #: The rule families, in report order.
-FAMILIES = (aggregator, boundedness, isolation, contract)
+FAMILIES = (aggregator, boundedness, isolation, contract, pickle_safety)
 
 __all__ = ["FAMILIES", "run_rules"]
 

@@ -1,0 +1,158 @@
+"""GRP5xx — pickle safety for the process execution backend.
+
+The :class:`~repro.runtime.backends.process.ProcessBackend` ships the
+whole program object to every worker process when a run binds
+(``op_bind``), and partial answers travel back over the same pipes. Any
+state the program stores on ``self`` therefore has to survive a pickle
+round-trip. These rules statically locate the three classic ways a PIE
+program breaks that contract — lambdas, locally-defined closures, and
+open OS handles bound to attributes — so a process-backend dispatch
+failure can be diagnosed *before* it happens (the runtime error message
+points back at this family).
+
+Programs that only ever run on the simulated backend may suppress these
+findings with the usual pragma; they are warnings, not errors, because
+the in-process simulator does not pickle anything.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, make_finding
+from repro.analysis.inspector import ModuleInfo, ProgramInfo, dotted_name
+from repro.analysis.rules.common import iter_methods
+
+#: Call roots whose constructed objects hold OS handles that cannot
+#: cross a process boundary (files, sockets, locks, processes, maps).
+_HANDLE_MODULES = {
+    "socket",
+    "threading",
+    "multiprocessing",
+    "subprocess",
+    "mmap",
+}
+
+#: Bare callables that return OS handles.
+_HANDLE_CALLS = {"open"}
+
+
+def _assign_pairs(node: ast.AST) -> Iterator[tuple[ast.AST, ast.AST]]:
+    """``(target, value)`` pairs of any assignment statement."""
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            yield target, node.value
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        if node.value is not None:
+            yield node.target, node.value
+
+
+def _self_attr(target: ast.AST, self_name: str) -> str | None:
+    """``attr`` when ``target`` is ``self.attr`` (or a subscript of it)."""
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    if (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == self_name
+    ):
+        return target.attr
+    return None
+
+
+def _handle_call(value: ast.AST) -> str | None:
+    """The callee name when ``value`` constructs an OS handle."""
+    if not isinstance(value, ast.Call):
+        return None
+    callee = dotted_name(value.func)
+    if callee is None:
+        return None
+    parts = callee.split(".")
+    if callee in _HANDLE_CALLS:
+        return callee
+    if len(parts) > 1 and parts[0] in _HANDLE_MODULES:
+        return callee
+    return None
+
+
+def check(program: ProgramInfo, module: ModuleInfo) -> Iterator[Finding]:
+    for method in iter_methods(program):
+        fn = method.node
+        if not fn.args.args:
+            continue
+        self_name = fn.args.args[0].arg
+        #: Functions defined inside this method body: assigning one to
+        #: ``self`` stores a closure over the method's locals.
+        local_fns = {
+            sub.name
+            for sub in ast.walk(fn)
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and sub is not fn
+        }
+        for sub in ast.walk(fn):
+            for target, value in _assign_pairs(sub):
+                attr = _self_attr(target, self_name)
+                if attr is None:
+                    continue
+                # --- GRP501: lambda stored on the program object -------
+                if isinstance(value, ast.Lambda):
+                    yield make_finding(
+                        "GRP501",
+                        f"stores a lambda on `self.{attr}` — the program "
+                        "object cannot be pickled to process-backend "
+                        "workers",
+                        path=program.path,
+                        node=sub,
+                        program=program.name,
+                        method=method.name,
+                    )
+                # --- GRP502: local closure stored on the program -------
+                elif isinstance(value, ast.Name) and value.id in local_fns:
+                    yield make_finding(
+                        "GRP502",
+                        f"stores locally-defined function `{value.id}` on "
+                        f"`self.{attr}` — closures over method locals "
+                        "cannot be pickled to process-backend workers",
+                        path=program.path,
+                        node=sub,
+                        program=program.name,
+                        method=method.name,
+                    )
+                else:
+                    # --- GRP503: open OS handle stored on the program --
+                    callee = _handle_call(value)
+                    if callee is not None:
+                        yield make_finding(
+                            "GRP503",
+                            f"stores `{callee}(...)` on `self.{attr}` — "
+                            "open OS handles (files, sockets, locks) "
+                            "cannot cross a process boundary",
+                            path=program.path,
+                            node=sub,
+                            program=program.name,
+                            method=method.name,
+                        )
+        # ``with open(...)`` bound to self via `as self.attr` is rare but
+        # equally fatal; catch the withitem form too.
+        for sub in ast.walk(fn):
+            if not isinstance(sub, (ast.With, ast.AsyncWith)):
+                continue
+            for item in sub.items:
+                if item.optional_vars is None:
+                    continue
+                attr = _self_attr(item.optional_vars, self_name)
+                if attr is None:
+                    continue
+                callee = _handle_call(item.context_expr)
+                if callee is not None:
+                    yield make_finding(
+                        "GRP503",
+                        f"binds `{callee}(...)` to `self.{attr}` in a "
+                        "with-statement — open OS handles cannot cross a "
+                        "process boundary",
+                        path=program.path,
+                        node=sub,
+                        program=program.name,
+                        method=method.name,
+                    )

@@ -190,6 +190,7 @@ class GraphDelta:
 def apply_delta(
     fragmented: FragmentedGraph,
     delta: object,
+    effects: dict[int, list] | None = None,
 ) -> dict[int, list[DeltaOp]]:
     """Route a mixed ΔG batch into fragments; returns fid -> ops to repair.
 
@@ -198,6 +199,11 @@ def apply_delta(
     classify them honestly; referencing the same edge twice in one batch
     is rejected (see module docstring). Unknown vertices or deletions of
     absent edges raise :class:`~repro.errors.ProgramError`.
+
+    Pass a dict as ``effects`` to additionally collect the per-fragment
+    mutation records (fid -> :data:`~repro.graph.fragment.FragmentEffect`
+    list, in application order) — the process backend replays these on
+    its workers' fragment copies so both sides stay byte-identical.
     """
     delta = GraphDelta.coerce(delta)
     touched: dict[int, list[DeltaOp]] = {}
@@ -230,6 +236,9 @@ def apply_delta(
             ) from exc
         for fid in fids:
             touched.setdefault(fid, []).append(routed)
+        if effects is not None:
+            for fid, records in fragmented.last_effects.items():
+                effects.setdefault(fid, []).extend(records)
     return touched
 
 

@@ -16,6 +16,15 @@ messages travel via P0) and ``"direct"`` (an extension mirroring
 libgrape-lite, where workers exchange parameters peer-to-peer and the
 coordinator only detects termination).
 
+Execution backends: worker-local steps (PEval, IncEval, the ΔG repair
+hooks) are expressed as named ops and dispatched through an
+:class:`~repro.runtime.backends.base.ExecutionBackend` — in-process on
+the virtual-time simulator (default) or on a pool of OS worker
+processes (``ProcessBackend``) that own pickled fragment copies and
+exchange border messages through this coordinator each superstep. Both
+run the same op code, so answers and metrics are byte-identical; only
+the process backend additionally reports real wall-clock compute.
+
 Supervision (the chaos runtime): every worker compute interval runs
 under a :class:`~repro.core.supervisor.Supervisor`. Transient worker
 failures are retried in place with deterministic simulated backoff; a
@@ -26,7 +35,7 @@ caller gets the answer without touching an exception. Without a
 checkpoint policy a fatal loss fails fast, naming the unrecoverable
 rounds. Pass ``faults=``
 :class:`~repro.runtime.faults.FaultPlan` to inject failures
-deterministically.
+deterministically (simulated backend only).
 """
 
 from __future__ import annotations
@@ -37,9 +46,9 @@ from typing import Generic, Hashable
 from repro.core.assurance import MonotonicityChecker
 from repro.core.delta import DeltaRepairStats, EngineState
 from repro.core.pie import P, PIEProgram, Q, R
+from repro.core.repair_policy import AdaptiveRepairPolicy
 from repro.core.supervisor import SupervisionPolicy, Supervisor
 from repro.core.termination import FixpointGuard
-from repro.core.update_params import UpdateParams
 from repro.errors import (
     FatalWorkerFailure,
     ProgramError,
@@ -47,6 +56,11 @@ from repro.errors import (
     WorkerFailure,
 )
 from repro.graph.fragment import FragmentedGraph
+from repro.runtime.backends import (
+    ExecutionBackend,
+    SimulatedBackend,
+    WorkerCall,
+)
 from repro.runtime.cluster import Cluster
 from repro.runtime.costmodel import CostModel
 from repro.runtime.message import COORDINATOR
@@ -92,21 +106,32 @@ class GrapeResult(Generic[R]):
 
 
 class GrapeEngine:
-    """Runs PIE programs over a fragmented graph on the simulated cluster.
+    """Runs PIE programs over a fragmented graph on a cluster backend.
 
     Args:
         fragmented: the partitioned graph (one fragment per worker).
         cost_model: simulated-cluster performance parameters.
         check_monotonic: verify every parameter write against the
-            aggregator's partial order (strict: raise on violation).
+            aggregator's partial order (strict: raise on violation);
+            requires the simulated backend.
         max_supersteps: fixed-point cap for non-monotonic programs.
         routing: ``"coordinator"`` (paper default) or ``"direct"``.
         supervision: retry/backoff/recovery knobs (defaults to
             :class:`~repro.core.supervisor.SupervisionPolicy`).
-        repair_fraction: non-monotone repair falls back to a full
-            recompute when any fragment's invalidated region exceeds
-            this fraction of its local vertices (scoped repair would
-            then cost more than starting over).
+        repair_fraction: cold-start fallback of the adaptive repair
+            policy — non-monotone repair falls back to a full recompute
+            when any fragment's invalidated region exceeds this
+            fraction of its local vertices, until the policy has
+            observed both repair and restart costs and can estimate the
+            break-even point itself.
+        repair_policy: an explicit
+            :class:`~repro.core.repair_policy.AdaptiveRepairPolicy`
+            (e.g. shared across engines, or with custom smoothing);
+            built from ``repair_fraction`` when omitted.
+        backend: an :class:`~repro.runtime.backends.base.
+            ExecutionBackend` built over the *same* ``fragmented``;
+            defaults to a fresh in-process
+            :class:`~repro.runtime.backends.simulated.SimulatedBackend`.
     """
 
     def __init__(
@@ -120,12 +145,26 @@ class GrapeEngine:
         supervision: SupervisionPolicy | None = None,
         repair_fraction: float = 0.5,
         tracer=None,
+        repair_policy: AdaptiveRepairPolicy | None = None,
+        backend: ExecutionBackend | None = None,
     ) -> None:
         if routing not in ("coordinator", "direct"):
             raise ProgramError(f"unknown routing mode {routing!r}")
         if not 0.0 <= repair_fraction <= 1.0:
             raise ProgramError(
                 f"repair_fraction must be in [0, 1], got {repair_fraction!r}"
+            )
+        if backend is None:
+            backend = SimulatedBackend(fragmented)
+        elif backend.fragmented is not fragmented:
+            raise ProgramError(
+                "backend was built over a different FragmentedGraph than "
+                "this engine's"
+            )
+        if check_monotonic and not backend.supports_observers:
+            raise ProgramError(
+                f"check_monotonic requires the simulated backend; the "
+                f"{backend.name!r} backend cannot host write observers"
             )
         self.fragmented = fragmented
         self.cost_model = cost_model or CostModel()
@@ -135,6 +174,10 @@ class GrapeEngine:
         self.routing = routing
         self.supervision = supervision or SupervisionPolicy()
         self.repair_fraction = repair_fraction
+        self.repair_policy = repair_policy or AdaptiveRepairPolicy(
+            fallback=repair_fraction
+        )
+        self.backend = backend
         #: Optional :class:`~repro.obs.Tracer` — a pure observer; never
         #: feeds back into the computation (see tests/property purity).
         self.tracer = tracer
@@ -167,19 +210,14 @@ class GrapeEngine:
         n = cluster.num_workers
         spec = program.param_spec(query)
         checker: MonotonicityChecker | None = None
+        observers = None
         if self.check_monotonic:
             checker = MonotonicityChecker(
                 order=spec.aggregator.order, strict=self.strict_monotonic
             )
+            observers = [checker.observer(wid) for wid in range(n)]
 
-        params: list[UpdateParams] = []
-        for frag in self.fragmented.fragments:
-            observer = checker.observer(frag.fid) if checker else None
-            store = UpdateParams(spec.aggregator, spec.default, observer)
-            program.declare_params(frag, query, store)
-            params.append(store)
-
-        partials: list[P] = [None] * n  # type: ignore[list-item]
+        self.backend.bind(program, query, observers)
         guard = FixpointGuard(max_supersteps=self.max_supersteps)
         rounds: list[RoundInfo] = []
 
@@ -187,27 +225,27 @@ class GrapeEngine:
         # Transient failures are retried in place; a fatal loss here
         # propagates (no snapshot of this run can exist before round 1).
         with cluster.superstep("peval") as step:
-            for wid in range(n):
-                frag = self.fragmented.fragments[wid]
-
-                def _peval(wid=wid, frag=frag):
-                    partials[wid] = program.peval(frag, query, params[wid])
-                    return params[wid].consume_changes()
-
-                changes = supervisor.attempt(step, wid, _peval)
-                if changes:
-                    self._emit(step, wid, changes)
+            self.backend.execute(
+                step,
+                supervisor,
+                [WorkerCall(wid, "peval") for wid in range(n)],
+                on_result=lambda wid, changes: (
+                    self._emit(step, wid, changes) if changes else None
+                ),
+            )
 
         # ---------------- IncEval rounds ----------------
         self._fixpoint(
-            cluster, program, query, params, partials, guard, rounds,
-            checkpoint, supervisor, checker,
+            cluster, program, query, guard, rounds, checkpoint, supervisor,
+            checker,
         )
 
-        answer = self._assemble(cluster, program, query, partials, supervisor)
+        answer = self._assemble(cluster, program, query, supervisor)
+        self._observe_restart(cluster)
 
         state = None
         if keep_state:
+            partials, params = self.backend.pull_state()
             state = EngineState(
                 partials=partials,
                 params=params,
@@ -223,6 +261,24 @@ class GrapeEngine:
             checker=checker,
             state=state,
         )
+
+    # ------------------------------------------------------------------
+    def apply_delta(self, delta) -> dict[int, list]:
+        """Route a ΔG batch into the fragments and sync backend workers.
+
+        Returns the fid -> routed-ops map (what
+        :func:`~repro.core.delta.apply_delta` returns) — pass it as
+        ``touched=`` to :meth:`run_incremental` calls repairing from
+        this batch. Callers that mutate the fragments *behind* the
+        engine would desync process-backend workers; this is the one
+        sanctioned mutation path.
+        """
+        from repro.core.delta import apply_delta
+
+        effects: dict[int, list] = {}
+        touched = apply_delta(self.fragmented, delta, effects=effects)
+        self.backend.sync_effects(effects)
+        return touched
 
     # ------------------------------------------------------------------
     def run_incremental(
@@ -252,7 +308,8 @@ class GrapeEngine:
           (``program.invalidated_region``) *across* fragments, reset the
           region's update parameters to the order's default, and re-derive
           it with ``program.repair_partial`` — unless any fragment's
-          region exceeds ``repair_fraction`` of its local vertices, in
+          region exceeds the repair policy's current threshold (the
+          static ``repair_fraction`` until costs are observed), in
           which case the whole fixpoint restarts from PEval over the
           mutated graph.
 
@@ -261,41 +318,37 @@ class GrapeEngine:
         ``checkpoint`` and ``faults`` behave exactly as in :meth:`run`.
 
         ``touched`` is the fragment-id -> ops mapping returned by a prior
-        :func:`~repro.core.delta.apply_delta` of the *same batch*: pass
-        it when the delta was already routed into the fragments, e.g. by
-        a serving layer repairing several standing queries from one
-        mutation — re-applying would duplicate the edges' border
-        bookkeeping. Left as ``None`` the engine routes ``delta`` itself.
+        :meth:`apply_delta` of the *same batch*: pass it when the delta
+        was already routed into the fragments, e.g. by a serving layer
+        repairing several standing queries from one mutation —
+        re-applying would duplicate the edges' border bookkeeping. Left
+        as ``None`` the engine routes ``delta`` itself.
 
         A state produced by a different program, fragment count, or
         aggregator raises :class:`~repro.errors.StaleStateError` up
         front instead of failing deep inside the fixpoint.
         """
-        from repro.core.delta import apply_delta
-
         self._check_state(program, query, state)
         cluster = self._make_cluster(f"grape-inc[{program.name}]", faults)
         supervisor = Supervisor(
             self.supervision, cluster.metrics.faults, tracer=self.tracer
         )
         n = cluster.num_workers
-        partials = state.partials
-        params = state.params
         guard = FixpointGuard(max_supersteps=self.max_supersteps)
         rounds: list[RoundInfo] = []
         repair = DeltaRepairStats()
 
         if touched is None:
-            touched = apply_delta(self.fragmented, delta)
+            touched = self.apply_delta(delta)
+
+        self.backend.resume(program, query, state)
 
         # The delta can create fresh border vertices; their update
         # parameters are declared with the spec default before programs
         # touch them.
-        for wid in range(n):
-            frag = self.fragmented.fragments[wid]
-            fresh = frag.border - params[wid].declared
-            if fresh:
-                params[wid].declare(fresh)
+        self.backend.invoke_all(
+            [WorkerCall(wid, "declare_fresh") for wid in range(n)]
+        )
 
         safe: dict[int, list] = {}
         unsafe: dict[int, list] = {}
@@ -315,15 +368,16 @@ class GrapeEngine:
         full_restart = False
         if unsafe:
             invalid = self._invalidate(
-                cluster, program, query, partials, unsafe, supervisor, repair
+                cluster, program, query, unsafe, supervisor, repair
             )
             repair.fragments = {
                 wid: len(region) for wid, region in invalid.items() if region
             }
             repair.invalidated = sum(repair.fragments.values())
+            threshold = self.repair_policy.threshold()
             full_restart = any(
                 len(region)
-                > self.repair_fraction
+                > threshold
                 * max(1, self.fragmented.fragments[wid].graph.num_vertices)
                 for wid, region in invalid.items()
             )
@@ -333,50 +387,54 @@ class GrapeEngine:
             # The invalidated region dominates the graph: re-deriving it
             # piecemeal would cost more than starting over. Fresh stores,
             # fresh PEval over the already-mutated fragments.
-            self._restart_peval(
-                cluster, program, query, params, partials, supervisor
-            )
+            self._restart_peval(cluster, supervisor)
         else:
             if unsafe:
                 for wid, region in invalid.items():
-                    repair.resets += params[wid].reset(region)
+                    repair.resets += self.backend.invoke(
+                        wid, "reset_params", region=region
+                    )
                 with cluster.superstep("repair") as step:
-                    for wid, region in sorted(invalid.items()):
-                        if not region:
-                            continue
-                        frag = self.fragmented.fragments[wid]
-
-                        def _repair(wid=wid, frag=frag, region=region):
-                            partials[wid] = program.repair_partial(
-                                frag, query, partials[wid], params[wid],
-                                set(region),
-                            )
-                            return params[wid].consume_changes()
-
-                        changes = supervisor.attempt(step, wid, _repair)
-                        if changes:
-                            self._emit(step, wid, changes)
+                    self.backend.execute(
+                        step,
+                        supervisor,
+                        [
+                            WorkerCall(wid, "repair", {"region": set(region)})
+                            for wid, region in sorted(invalid.items())
+                            if region
+                        ],
+                        on_result=lambda wid, changes: (
+                            self._emit(step, wid, changes) if changes else None
+                        ),
+                    )
             if safe:
                 with cluster.superstep("update") as step:
-                    for wid, local_ops in sorted(safe.items()):
-                        frag = self.fragmented.fragments[wid]
-
-                        def _update(wid=wid, frag=frag, ops=local_ops):
-                            partials[wid] = program.on_graph_update(
-                                frag, query, partials[wid], params[wid], ops
-                            )
-                            return params[wid].consume_changes()
-
-                        changes = supervisor.attempt(step, wid, _update)
-                        if changes:
-                            self._emit(step, wid, changes)
+                    self.backend.execute(
+                        step,
+                        supervisor,
+                        [
+                            WorkerCall(wid, "update", {"ops": local_ops})
+                            for wid, local_ops in sorted(safe.items())
+                        ],
+                        on_result=lambda wid, changes: (
+                            self._emit(step, wid, changes) if changes else None
+                        ),
+                    )
 
         self._fixpoint(
-            cluster, program, query, params, partials, guard, rounds,
-            checkpoint, supervisor, checker=None,
+            cluster, program, query, guard, rounds, checkpoint, supervisor,
+            checker=None,
         )
 
-        answer = self._assemble(cluster, program, query, partials, supervisor)
+        answer = self._assemble(cluster, program, query, supervisor)
+        self._observe_repair(cluster, repair)
+
+        # The caller's EngineState keeps tracking the live fixpoint, as
+        # it always has (its lists are updated in place); the result
+        # carries a fresh EngineState sharing those lists.
+        pulled_partials, pulled_params = self.backend.pull_state()
+        state.partials[:] = pulled_partials
+        state.params[:] = pulled_params
         if self.tracer is not None:
             self.tracer.run_end(cluster.metrics)
         return GrapeResult(
@@ -385,8 +443,8 @@ class GrapeEngine:
             rounds=rounds,
             checker=None,
             state=EngineState(
-                partials=partials,
-                params=params,
+                partials=state.partials,
+                params=state.params,
                 program_name=program.name,
                 num_fragments=n,
             ),
@@ -398,7 +456,6 @@ class GrapeEngine:
         cluster: Cluster,
         program: PIEProgram[Q, P, R],
         query: Q,
-        partials: list[P],
         unsafe: dict[int, list],
         supervisor: Supervisor,
         repair: DeltaRepairStats,
@@ -426,25 +483,27 @@ class GrapeEngine:
             return bool(by_dst)
 
         with cluster.superstep("invalidate") as step:
-            for wid, ops in sorted(unsafe.items()):
-                frag = self.fragmented.fragments[wid]
 
-                def _seed(wid=wid, frag=frag, ops=ops):
-                    seeds = program.delta_seeds(
-                        frag, query, partials[wid], ops
-                    )
-                    return program.invalidated_region(
-                        frag, query, partials[wid], set(seeds)
-                    )
-
-                region = supervisor.attempt(step, wid, _seed)
+            def _seeded(wid: int, region: set) -> None:
+                nonlocal sent
                 invalid[wid] |= region
                 sent |= _ship(step, wid, region)
+
+            self.backend.execute(
+                step,
+                supervisor,
+                [
+                    WorkerCall(wid, "seed_region", {"ops": ops})
+                    for wid, ops in sorted(unsafe.items())
+                ],
+                on_result=_seeded,
+            )
         repair.invalidation_rounds += 1
 
         while sent:
             sent = False
             with cluster.superstep("invalidate") as step:
+                calls = []
                 for wid in range(cluster.num_workers):
                     messages = cluster.receive(wid)
                     if not messages:
@@ -455,52 +514,47 @@ class GrapeEngine:
                     fresh = incoming - invalid.get(wid, set())
                     if not fresh:
                         continue
-                    frag = self.fragmented.fragments[wid]
+                    calls.append(
+                        WorkerCall(wid, "expand_region", {"fresh": fresh})
+                    )
 
-                    def _expand(wid=wid, frag=frag, fresh=fresh):
-                        return program.invalidated_region(
-                            frag, query, partials[wid], set(fresh)
-                        )
-
-                    region = supervisor.attempt(step, wid, _expand)
+                def _expanded(wid: int, region: set) -> None:
+                    nonlocal sent
                     grow = region - invalid.setdefault(wid, set())
                     if not grow:
-                        continue
+                        return
                     invalid[wid] |= grow
                     sent |= _ship(step, wid, grow)
+
+                self.backend.execute(
+                    step, supervisor, calls, on_result=_expanded
+                )
             repair.invalidation_rounds += 1
         return invalid
 
     def _restart_peval(
         self,
         cluster: Cluster,
-        program: PIEProgram[Q, P, R],
-        query: Q,
-        params: list[UpdateParams],
-        partials: list[P],
         supervisor: Supervisor,
     ) -> None:
         """Full-recompute fallback: fresh parameter stores + PEval.
 
-        Replaces ``params``/``partials`` in place over the mutated
-        fragments; the caller re-enters the ordinary IncEval fixpoint.
+        Replaces every worker's store over the mutated fragments; the
+        caller re-enters the ordinary IncEval fixpoint.
         """
-        spec = program.param_spec(query)
-        for wid, frag in enumerate(self.fragmented.fragments):
-            store = UpdateParams(spec.aggregator, spec.default)
-            program.declare_params(frag, query, store)
-            params[wid] = store
+        n = cluster.num_workers
+        self.backend.invoke_all(
+            [WorkerCall(wid, "rebind_params") for wid in range(n)]
+        )
         with cluster.superstep("peval") as step:
-            for wid in range(cluster.num_workers):
-                frag = self.fragmented.fragments[wid]
-
-                def _peval(wid=wid, frag=frag):
-                    partials[wid] = program.peval(frag, query, params[wid])
-                    return params[wid].consume_changes()
-
-                changes = supervisor.attempt(step, wid, _peval)
-                if changes:
-                    self._emit(step, wid, changes)
+            self.backend.execute(
+                step,
+                supervisor,
+                [WorkerCall(wid, "peval") for wid in range(n)],
+                on_result=lambda wid, changes: (
+                    self._emit(step, wid, changes) if changes else None
+                ),
+            )
 
     # ------------------------------------------------------------------
     def resume_from_checkpoint(
@@ -525,8 +579,6 @@ class GrapeEngine:
         recovering costs bounded work too.
         """
         ckpt_round, state = checkpoint.load_latest()
-        partials = state.partials
-        params = state.params
         cluster = self._make_cluster(f"grape-recover[{program.name}]", faults)
         supervisor = Supervisor(
             self.supervision, cluster.metrics.faults, tracer=self.tracer
@@ -536,14 +588,16 @@ class GrapeEngine:
         )
         rounds: list[RoundInfo] = []
 
-        self._reship_borders(cluster, params, supervisor)
+        self.backend.resume(program, query, state)
+        self._reship_borders(cluster, supervisor)
 
         self._fixpoint(
-            cluster, program, query, params, partials, guard, rounds,
-            checkpoint, supervisor, checker=None,
+            cluster, program, query, guard, rounds, checkpoint, supervisor,
+            checker=None,
         )
 
-        answer = self._assemble(cluster, program, query, partials, supervisor)
+        answer = self._assemble(cluster, program, query, supervisor)
+        partials, params = self.backend.pull_state()
         if self.tracer is not None:
             self.tracer.run_end(cluster.metrics)
         return GrapeResult(
@@ -607,6 +661,12 @@ class GrapeEngine:
 
     def _make_cluster(self, engine_name: str, faults) -> Cluster:
         """A cluster for one run, with the fault plan's injector if any."""
+        if faults is not None and not self.backend.supports_faults:
+            raise ProgramError(
+                f"fault injection requires the simulated backend; the "
+                f"{self.backend.name!r} backend runs real worker "
+                "processes the injector cannot interpose on"
+            )
         injector = faults.injector() if faults is not None else None
         if self.tracer is not None:
             self.tracer.run_begin(engine_name, self.fragmented.num_fragments)
@@ -616,15 +676,44 @@ class GrapeEngine:
             engine_name=engine_name,
             injector=injector,
             tracer=self.tracer,
+            measure_wall=self.backend.measures_wall,
         )
+
+    def _phase_seconds(self, cluster: Cluster, *phases: str) -> float:
+        """Summed simulated time of the run's supersteps in ``phases``."""
+        wanted = set(phases)
+        return sum(
+            s.simulated_time
+            for s in cluster.metrics.supersteps
+            if s.phase in wanted
+        )
+
+    def _observe_restart(self, cluster: Cluster) -> None:
+        """Feed a PEval pass's cost into the adaptive repair policy."""
+        vertices = sum(
+            frag.graph.num_vertices for frag in self.fragmented.fragments
+        )
+        self.repair_policy.observe_restart(
+            vertices, self._phase_seconds(cluster, "peval")
+        )
+
+    def _observe_repair(
+        self, cluster: Cluster, repair: DeltaRepairStats
+    ) -> None:
+        """Feed what this ΔG batch actually cost into the repair policy."""
+        if repair.mode == "scoped" and repair.invalidated:
+            self.repair_policy.observe_scoped(
+                repair.invalidated,
+                self._phase_seconds(cluster, "invalidate", "repair"),
+            )
+        elif repair.mode == "full":
+            self._observe_restart(cluster)
 
     def _fixpoint(
         self,
         cluster: Cluster,
         program: PIEProgram[Q, P, R],
         query: Q,
-        params: list[UpdateParams],
-        partials: list[P],
         guard: FixpointGuard,
         rounds: list[RoundInfo],
         checkpoint,
@@ -633,29 +722,28 @@ class GrapeEngine:
     ) -> None:
         """Drive IncEval rounds to the fixed point, healing fatal losses.
 
-        ``params``/``partials`` are mutated in place (including wholesale
-        replacement on recovery, hence the slice assignments in
-        :meth:`_recover`); ``rounds`` accumulates the full trace — the
-        re-executed rounds after a recovery appear again, which is the
-        honest account of what the cluster computed.
+        Worker state lives in the backend and is mutated in place
+        (including wholesale replacement on recovery); ``rounds``
+        accumulates the full trace — the re-executed rounds after a
+        recovery appear again, which is the honest account of what the
+        cluster computed.
         """
+        n = cluster.num_workers
         while True:
-            if not self._pending(cluster) and not self._any_active(
-                program, partials
+            if not self._pending(cluster) and not any(
+                self.backend.is_active(wid) for wid in range(n)
             ):
                 break
             try:
                 with cluster.superstep("inceval") as step:
                     shipped, applied, active = self._inceval_round(
-                        cluster, step, program, query, params, partials,
-                        supervisor,
+                        cluster, step, program, query, supervisor
                     )
             except WorkerFailure as failure:
                 if not failure.fatal:
                     raise
                 self._recover(
-                    cluster, failure, checkpoint, params, partials, guard,
-                    supervisor, checker,
+                    cluster, failure, checkpoint, guard, supervisor, checker
                 )
                 continue
             guard.record_round(shipped)
@@ -668,13 +756,14 @@ class GrapeEngine:
                 )
             )
             if checkpoint is not None and guard.rounds % checkpoint.every == 0:
+                partials, params = self.backend.pull_state()
                 checkpoint.save(
                     guard.rounds,
                     EngineState(
                         partials=partials,
                         params=params,
                         program_name=program.name,
-                        num_fragments=cluster.num_workers,
+                        num_fragments=n,
                     ),
                 )
 
@@ -683,8 +772,6 @@ class GrapeEngine:
         cluster: Cluster,
         failure: WorkerFailure,
         checkpoint,
-        params: list[UpdateParams],
-        partials: list[P],
         guard: FixpointGuard,
         supervisor: Supervisor,
         checker: MonotonicityChecker | None,
@@ -722,45 +809,43 @@ class GrapeEngine:
                 rounds_lost=lost,
             )
         cluster.mpi.reset_in_flight()
-        params[:] = state.params
-        partials[:] = state.partials
+        self.backend.push_state(state.partials, state.params)
         if checker is not None:
             # Snapshots travel observer-less (pickle); re-arm the checker.
-            for wid, store in enumerate(params):
-                store.attach_observer(checker.observer(wid))
-        self._reship_borders(cluster, params, supervisor)
+            self.backend.attach_observers(
+                [checker.observer(wid) for wid in range(cluster.num_workers)]
+            )
+        self._reship_borders(cluster, supervisor)
         supervisor.counters.recovery_supersteps += 1
 
     def _reship_borders(
         self,
         cluster: Cluster,
-        params: list[UpdateParams],
         supervisor: Supervisor,
     ) -> None:
         """One "recover" superstep: re-send every non-default border value."""
         with cluster.superstep("recover") as step:
-            for wid in range(cluster.num_workers):
-
-                def _reship(wid=wid):
-                    store = params[wid]
-                    for v in store.declared:
-                        if store.get(v) != store.default:
-                            store.touch(v)
-                    return store.consume_changes()
-
-                changes = supervisor.attempt(step, wid, _reship)
-                if changes:
-                    self._emit(step, wid, changes)
+            self.backend.execute(
+                step,
+                supervisor,
+                [
+                    WorkerCall(wid, "reship")
+                    for wid in range(cluster.num_workers)
+                ],
+                on_result=lambda wid, changes: (
+                    self._emit(step, wid, changes) if changes else None
+                ),
+            )
 
     def _assemble(
         self,
         cluster: Cluster,
         program: PIEProgram[Q, P, R],
         query: Q,
-        partials: list[P],
         supervisor: Supervisor,
     ) -> R:
         """Final superstep: the coordinator combines partial answers."""
+        partials = self.backend.partials()
         with cluster.superstep("assemble") as step:
             return supervisor.attempt(
                 step, COORDINATOR, lambda: program.assemble(query, partials)
@@ -786,21 +871,12 @@ class GrapeEngine:
         """Any undelivered worker changes? (coordinator's inactivity test)"""
         return bool(cluster.mpi.peek(COORDINATOR)) or cluster.mpi.pending()
 
-    def _any_active(self, program, partials) -> bool:
-        """Any worker still busy with purely local computation?"""
-        return any(
-            program.is_active(frag, partials[frag.fid])
-            for frag in self.fragmented.fragments
-        )
-
     def _inceval_round(
         self,
         cluster: Cluster,
         step,
         program: PIEProgram[Q, P, R],
         query: Q,
-        params: list[UpdateParams],
-        partials: list[P],
         supervisor: Supervisor,
     ) -> tuple[int, int, int]:
         """One superstep: route messages, run IncEval, ship new changes.
@@ -842,35 +918,34 @@ class GrapeEngine:
         shipped = 0
         applied = 0
         active = 0
+        calls = []
+        was_active: dict[int, bool] = {}
         for wid in range(n):
-            frag = self.fragmented.fragments[wid]
             messages = cluster.receive(wid)
-            locally_active = program.is_active(frag, partials[wid])
+            locally_active = self.backend.is_active(wid)
             if not messages and not locally_active:
                 continue
+            was_active[wid] = locally_active
+            calls.append(
+                WorkerCall(
+                    wid,
+                    "inceval",
+                    {
+                        "payloads": [msg.payload for msg in messages],
+                        "locally_active": locally_active,
+                    },
+                )
+            )
 
-            def _work(
-                wid=wid,
-                frag=frag,
-                messages=messages,
-                locally_active=locally_active,
-            ):
-                changed: set[VertexId] = set()
-                for msg in messages:
-                    for v, value in msg.payload.items():
-                        if params[wid].apply_remote(v, value):
-                            changed.add(v)
-                if changed or locally_active:
-                    partials[wid] = program.inceval(
-                        frag, query, partials[wid], params[wid], changed
-                    )
-                return changed, params[wid].consume_changes()
-
-            changed, changes = supervisor.attempt(step, wid, _work)
+        def _shipped(wid: int, result) -> None:
+            nonlocal shipped, applied, active
+            changed, changes = result
             applied += len(changed)
-            if changed or locally_active:
+            if changed or was_active[wid]:
                 active += 1
             if changes:
                 shipped += len(changes)
                 self._emit(step, wid, changes)
+
+        self.backend.execute(step, supervisor, calls, on_result=_shipped)
         return shipped, applied, active

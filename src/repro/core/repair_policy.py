@@ -1,0 +1,110 @@
+"""Adaptive scoped-repair vs full-restart decision for ΔG batches.
+
+``run_incremental`` must choose, per unsafe batch, between re-deriving
+the invalidated region in place (cost ~ region size) and restarting the
+whole fixpoint from PEval (cost ~ fragment size). The original engine
+used a static ``repair_fraction`` constant; this policy replaces it
+with an estimate learned from what prior batches *actually* cost on
+this engine:
+
+* every scoped repair contributes an observed cost per invalidated
+  vertex (the invalidate + repair supersteps' simulated seconds over
+  the region size);
+* every full restart — and every ordinary PEval — contributes an
+  observed cost per resident vertex.
+
+Scoped repair wins when ``region * scoped_unit < vertices *
+restart_unit``, i.e. while the region fraction stays below
+``restart_unit / scoped_unit``; :meth:`AdaptiveRepairPolicy.threshold`
+returns exactly that ratio (EWMA-smoothed, clamped), and falls back to
+the static fraction until both sides have been observed — the pinned
+cold-start behaviour, so a fresh engine decides exactly as the old
+constant did.
+
+Costs are simulated-time quantities from the deterministic cost model,
+so the learned threshold is itself deterministic: both execution
+backends observe identical histories and make identical decisions
+(part of the oracle-equivalence contract).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProgramError
+
+
+class AdaptiveRepairPolicy:
+    """EWMA estimate of when scoped repair beats a full restart.
+
+    Args:
+        fallback: static region fraction used until both a scoped and a
+            restart cost have been observed (the historical
+            ``repair_fraction`` constant).
+        alpha: EWMA smoothing weight of the newest observation.
+        min_fraction / max_fraction: clamp on the learned threshold so
+            one degenerate batch cannot pin the policy to "always
+            restart" or "never restart".
+    """
+
+    def __init__(
+        self,
+        fallback: float = 0.5,
+        alpha: float = 0.5,
+        min_fraction: float = 0.05,
+        max_fraction: float = 0.95,
+    ) -> None:
+        if not 0.0 <= fallback <= 1.0:
+            raise ProgramError(
+                f"fallback fraction must be in [0, 1], got {fallback!r}"
+            )
+        if not 0.0 < alpha <= 1.0:
+            raise ProgramError(f"alpha must be in (0, 1], got {alpha!r}")
+        self.fallback = fallback
+        self.alpha = alpha
+        self.min_fraction = min_fraction
+        self.max_fraction = max_fraction
+        self._scoped_unit: float | None = None
+        self._restart_unit: float | None = None
+        #: observation counters (introspection + tests)
+        self.scoped_batches = 0
+        self.restart_runs = 0
+
+    # ------------------------------------------------------------------
+    def _blend(self, old: float | None, value: float) -> float:
+        if old is None:
+            return value
+        return (1.0 - self.alpha) * old + self.alpha * value
+
+    def observe_scoped(self, invalidated: int, seconds: float) -> None:
+        """A scoped repair touched ``invalidated`` vertices in ``seconds``."""
+        if invalidated <= 0 or seconds <= 0.0:
+            return
+        self._scoped_unit = self._blend(
+            self._scoped_unit, seconds / invalidated
+        )
+        self.scoped_batches += 1
+
+    def observe_restart(self, vertices: int, seconds: float) -> None:
+        """A PEval pass covered ``vertices`` resident vertices in ``seconds``."""
+        if vertices <= 0 or seconds <= 0.0:
+            return
+        self._restart_unit = self._blend(
+            self._restart_unit, seconds / vertices
+        )
+        self.restart_runs += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def calibrated(self) -> bool:
+        """True once both cost sides have been observed."""
+        return self._scoped_unit is not None and self._restart_unit is not None
+
+    def threshold(self) -> float:
+        """Region fraction above which a full restart is cheaper.
+
+        ``fallback`` until calibrated; then the clamped EWMA ratio
+        ``restart_unit / scoped_unit``.
+        """
+        if not self.calibrated or self._scoped_unit <= 0.0:
+            return self.fallback
+        ratio = self._restart_unit / self._scoped_unit
+        return min(self.max_fraction, max(self.min_fraction, ratio))

@@ -17,6 +17,7 @@ from repro.graph.digraph import Graph
 from repro.graph.fragment import FragmentedGraph, build_fragments
 from repro.partition.base import PartitionReport, Partitioner, evaluate_partition
 from repro.partition.registry import get_partitioner
+from repro.runtime.backends import ExecutionBackend, make_backend
 from repro.runtime.costmodel import CostModel
 
 VertexId = Hashable
@@ -37,6 +38,13 @@ class Session:
             running them; error-severity findings raise
             :class:`~repro.errors.AnalysisError` (the static counterpart
             of ``check_monotonic``).
+        backend: execution backend name (``"simulated"`` — the default
+            in-process virtual-time cluster — or ``"process"``, a pool
+            of OS worker processes) or a pre-built
+            :class:`~repro.runtime.backends.base.ExecutionBackend`
+            instance over this session's fragmentation. One backend is
+            shared by every engine the session builds, so process
+            workers persist across queries.
     """
 
     def __init__(
@@ -49,6 +57,7 @@ class Session:
         routing: str = "coordinator",
         validate: bool = False,
         tracer=None,
+        backend: str | ExecutionBackend = "simulated",
     ) -> None:
         self.graph = graph
         self.num_workers = num_workers
@@ -65,6 +74,12 @@ class Session:
             else get_partitioner(partition)
         )
         self._fragmented: FragmentedGraph | None = None
+        if isinstance(backend, ExecutionBackend):
+            self.backend_name = backend.name
+            self._backend: ExecutionBackend | None = backend
+        else:
+            self.backend_name = backend
+            self._backend = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -127,6 +142,10 @@ class Session:
         if num_workers is not None:
             self.num_workers = num_workers
         self._fragmented = None
+        if self._backend is not None:
+            # The backend's workers own copies of the old fragments.
+            self._backend.close()
+            self._backend = None
         return self.fragmented
 
     def partition_report(self) -> PartitionReport:
@@ -139,6 +158,29 @@ class Session:
         )
 
     # ------------------------------------------------------------------
+    @property
+    def backend(self):
+        """The session's shared execution backend (built lazily)."""
+        if self._backend is None:
+            self._backend = make_backend(
+                self.backend_name,
+                self.fragmented,
+                deterministic=self.cost_model.deterministic,
+            )
+        return self._backend
+
+    def close(self) -> None:
+        """Release backend resources (worker processes); idempotent.
+
+        The session stays usable — the next engine lazily rebuilds the
+        backend — but any EngineState held against the old process pool
+        must be re-pushed by the caller (``run_incremental`` does this
+        on every call, so serving flows keep working).
+        """
+        if self._backend is not None:
+            self._backend.close()
+            self._backend = None
+
     def engine(self) -> GrapeEngine:
         """A GrapeEngine bound to this session's fragmentation."""
         return GrapeEngine(
@@ -147,6 +189,7 @@ class Session:
             check_monotonic=self.check_monotonic,
             routing=self.routing,
             tracer=self.tracer,
+            backend=self.backend,
         )
 
     def run(

@@ -26,6 +26,50 @@ from repro.graph.digraph import Graph
 
 VertexId = Hashable
 
+#: One per-fragment mutation record — a plain tuple so effect logs can
+#: travel to process-backend workers over a pipe. First element is the
+#: effect kind; see :func:`apply_fragment_effects` for the vocabulary.
+FragmentEffect = tuple
+
+
+def apply_fragment_effects(frag: "Fragment", records: Sequence[tuple]) -> None:
+    """Replay a per-fragment effect log onto ``frag``.
+
+    The single interpreter behind ΔG mutation: the coordinator-side
+    :class:`FragmentedGraph` mutators *emit* these records while applying
+    them locally, and the process backend ships the same records to the
+    worker that owns a copy of the fragment — both sides execute
+    identical mutations, so fragment state can never diverge.
+    """
+    for record in records:
+        kind = record[0]
+        if kind == "add_vertex":
+            _, v, label, props = record
+            frag.graph.add_vertex(v, label, **props)
+        elif kind == "add_edge":
+            _, src, dst, weight, label = record
+            frag.graph.add_edge(src, dst, weight, label)
+        elif kind == "remove_edge":
+            _, src, dst = record
+            frag.graph.remove_edge(src, dst)
+        elif kind == "remove_vertex":
+            _, v = record
+            frag.graph.remove_vertex(v)
+        elif kind == "set_mirror":
+            _, v, owner = record
+            frag.mirrors[v] = owner
+        elif kind == "drop_mirror":
+            _, v = record
+            frag.mirrors.pop(v, None)
+        elif kind == "add_inner_border":
+            _, v = record
+            frag.inner_border.add(v)
+        elif kind == "discard_inner_border":
+            _, v = record
+            frag.inner_border.discard(v)
+        else:
+            raise PartitionError(f"unknown fragment effect {kind!r}")
+
 
 @dataclass
 class Fragment:
@@ -83,6 +127,9 @@ class FragmentedGraph:
         self.fragments = list(fragments)
         self.assignment = dict(assignment)
         self.strategy = strategy
+        #: fid -> effect records of the most recent mutator call (what the
+        #: process backend replays on its workers' fragment copies).
+        self.last_effects: dict[int, list] = {}
         # vid -> set of fids hosting a copy (owner first by convention).
         self.known_by: dict[VertexId, set[int]] = {}
         for frag in self.fragments:
@@ -120,7 +167,20 @@ class FragmentedGraph:
     # Delta application (ΔG): one edge at a time, with border/mirror
     # bookkeeping for removals as well as additions. The batch-level
     # entry point is :func:`repro.core.delta.apply_delta`.
+    #
+    # Every mutator records the per-fragment effects it applied in
+    # ``self.last_effects`` (fid -> effect records); the process backend
+    # replays those records on its workers' fragment copies through the
+    # same :func:`apply_fragment_effects` interpreter.
     # ------------------------------------------------------------------
+    def _effect(
+        self, effects: dict[int, list], fid: int, *record: object
+    ) -> None:
+        """Apply one effect to ``fid``'s fragment and log it."""
+        rec = tuple(record)
+        apply_fragment_effects(self.fragments[fid], [rec])
+        effects.setdefault(fid, []).append(rec)
+
     def insert_edge(
         self,
         src: VertexId,
@@ -141,31 +201,41 @@ class FragmentedGraph:
         src_frag = self.fragments[src_fid]
         dst_frag = self.fragments[dst_fid]
         directed = src_frag.graph.directed
+        effects: dict[int, list] = {}
 
         if not src_frag.graph.has_vertex(dst):
-            src_frag.graph.add_vertex(
+            self._effect(
+                effects,
+                src_fid,
+                "add_vertex",
                 dst,
                 dst_frag.graph.vertex_label(dst),
-                **dst_frag.graph.vertex_props(dst),
+                dict(dst_frag.graph.vertex_props(dst)),
             )
-        src_frag.graph.add_edge(src, dst, weight, label)
+        self._effect(effects, src_fid, "add_edge", src, dst, weight, label)
         touched = [src_fid]
         if dst_fid != src_fid:
-            src_frag.mirrors[dst] = dst_fid
-            dst_frag.inner_border.add(dst)
+            self._effect(effects, src_fid, "set_mirror", dst, dst_fid)
+            self._effect(effects, dst_fid, "add_inner_border", dst)
             self.known_by.setdefault(dst, set()).add(src_fid)
             touched.append(dst_fid)
             if not directed:
                 if not dst_frag.graph.has_vertex(src):
-                    dst_frag.graph.add_vertex(
+                    self._effect(
+                        effects,
+                        dst_fid,
+                        "add_vertex",
                         src,
                         src_frag.graph.vertex_label(src),
-                        **src_frag.graph.vertex_props(src),
+                        dict(src_frag.graph.vertex_props(src)),
                     )
-                dst_frag.graph.add_edge(dst, src, weight, label)
-                dst_frag.mirrors[src] = src_fid
-                src_frag.inner_border.add(src)
+                self._effect(
+                    effects, dst_fid, "add_edge", dst, src, weight, label
+                )
+                self._effect(effects, dst_fid, "set_mirror", src, src_fid)
+                self._effect(effects, src_fid, "add_inner_border", src)
                 self.known_by.setdefault(src, set()).add(dst_fid)
+        self.last_effects = effects
         return touched
 
     def delete_edge(self, src: VertexId, dst: VertexId) -> list[int]:
@@ -185,15 +255,20 @@ class FragmentedGraph:
         src_frag = self.fragments[src_fid]
         dst_frag = self.fragments[dst_fid]
         directed = src_frag.graph.directed
+        effects: dict[int, list] = {}
 
-        src_frag.graph.remove_edge(src, dst)  # GraphError if absent
+        if not src_frag.graph.has_edge(src, dst):
+            # Match Graph.remove_edge's error without logging any effect.
+            src_frag.graph.remove_edge(src, dst)
+        self._effect(effects, src_fid, "remove_edge", src, dst)
         touched = [src_fid]
         if dst_fid != src_fid:
             touched.append(dst_fid)
-            self._prune_mirror(src_frag, dst)
+            self._prune_mirror(effects, src_frag, dst)
             if not directed:
-                dst_frag.graph.remove_edge(dst, src)
-                self._prune_mirror(dst_frag, src)
+                self._effect(effects, dst_fid, "remove_edge", dst, src)
+                self._prune_mirror(effects, dst_frag, src)
+        self.last_effects = effects
         return touched
 
     def reweight_edge(
@@ -210,32 +285,39 @@ class FragmentedGraph:
         src_frag = self.fragments[src_fid]
         dst_frag = self.fragments[dst_fid]
         directed = src_frag.graph.directed
+        effects: dict[int, list] = {}
 
         old = src_frag.graph.edge_weight(src, dst)  # GraphError if absent
         label = src_frag.graph.edge_label(src, dst)
-        src_frag.graph.add_edge(src, dst, weight, label)
+        self._effect(effects, src_fid, "add_edge", src, dst, weight, label)
         touched = [src_fid]
         if dst_fid != src_fid:
             touched.append(dst_fid)
             if not directed:
-                dst_frag.graph.add_edge(dst, src, weight, label)
+                self._effect(
+                    effects, dst_fid, "add_edge", dst, src, weight, label
+                )
+        self.last_effects = effects
         return touched, old
 
-    def _prune_mirror(self, frag: Fragment, v: VertexId) -> None:
+    def _prune_mirror(
+        self, effects: dict[int, list], frag: Fragment, v: VertexId
+    ) -> None:
         """Drop ``frag``'s mirror of ``v`` if no local edge references it."""
         if v not in frag.mirrors:
             return
         g = frag.graph
         if v in g and (g.out_degree(v) or g.in_degree(v)):
             return  # still referenced by another local edge
-        owner = frag.mirrors.pop(v)
+        owner = frag.mirrors[v]
+        self._effect(effects, frag.fid, "drop_mirror", v)
         if v in g:
-            g.remove_vertex(v)
+            self._effect(effects, frag.fid, "remove_vertex", v)
         hosts = self.known_by.get(v)
         if hosts is not None:
             hosts.discard(frag.fid)
         if not any(v in f.mirrors for f in self.fragments):
-            self.fragments[owner].inner_border.discard(v)
+            self._effect(effects, owner, "discard_inner_border", v)
 
     def cross_edges(self) -> int:
         """Number of edges whose endpoints live on different fragments."""

@@ -155,6 +155,21 @@ def _emit_run(emitter: _Emitter, run: RunTimeline) -> None:
         pid, TID_STEPS, run.engine, "run", run.start, run.duration, run_args
     )
     for step in run.steps:
+        step_args = {
+            "step": step.index,
+            "phase": step.phase,
+            "bytes": step.bytes,
+            "messages": step.messages,
+            "pairs": step.pairs,
+            "faults": step.faults,
+            "retries": step.retries,
+            "aborted": step.aborted,
+            "active_workers": len(step.worker_totals),
+        }
+        if step.wall_ms is not None:
+            # Only wall-measuring backends emit this; deterministic
+            # golden traces stay byte-stable without it.
+            step_args["wall_ms"] = step.wall_ms
         emitter.span(
             pid,
             TID_STEPS,
@@ -162,17 +177,7 @@ def _emit_run(emitter: _Emitter, run: RunTimeline) -> None:
             "superstep",
             step.start,
             step.duration,
-            {
-                "step": step.index,
-                "phase": step.phase,
-                "bytes": step.bytes,
-                "messages": step.messages,
-                "pairs": step.pairs,
-                "faults": step.faults,
-                "retries": step.retries,
-                "aborted": step.aborted,
-                "active_workers": len(step.worker_totals),
-            },
+            step_args,
         )
         for span in step.spans:
             emitter.span(

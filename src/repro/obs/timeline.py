@@ -75,6 +75,10 @@ class StepTimeline:
     faults: int = 0
     retries: int = 0
     aborted: bool = False
+    #: real wall-clock duration in ms, present only for runs executed
+    #: on a wall-measuring backend (process); the virtual timeline
+    #: placement never uses it.
+    wall_ms: float | None = None
     spans: list[WorkerSpan] = field(default_factory=list)
     #: rank -> total virtual seconds across its spans this superstep.
     worker_totals: dict[int, float] = field(default_factory=dict)
@@ -135,6 +139,7 @@ class _StepBuilder:
         faults: int = 0,
         retries: int = 0,
         aborted: bool = False,
+        wall_ms: float | None = None,
     ) -> StepTimeline:
         """Place every lane at ``start`` and compute the step duration."""
         for rank, counts in sorted((sends or {}).items()):
@@ -183,6 +188,7 @@ class _StepBuilder:
             faults=faults,
             retries=retries,
             aborted=aborted,
+            wall_ms=wall_ms,
             spans=spans,
             worker_totals=totals,
         )
@@ -269,6 +275,7 @@ def build_timeline(events) -> list[RunTimeline]:
                 sends=ev["sends"],
                 faults=ev["faults"],
                 retries=ev["retries"],
+                wall_ms=ev.get("wall_ms"),
             )
         elif kind == "step_abort":
             close_step(aborted=True)

@@ -130,25 +130,33 @@ class Tracer:
         sends: dict[int, list[int]],
         faults: int,
         retries: int,
+        wall_ms: float | None = None,
     ) -> None:
         """Close a superstep with its barrier traffic totals.
 
         ``sends`` maps sender rank -> ``[messages, bytes]`` shipped this
         superstep (logical sends; injected retransmissions are part of
-        the step totals only).
+        the step totals only). ``wall_ms`` is real wall-clock duration,
+        recorded only by wall-measuring clusters (process backend) so
+        deterministic golden traces never carry it.
         """
-        self._emit(
-            "step_end",
-            run=self._run,
-            step=index,
-            phase=phase,
-            bytes=bytes_sent,
-            messages=messages,
-            pairs=pairs,
-            sends={w: list(counts) for w, counts in sorted(sends.items())},
-            faults=faults,
-            retries=retries,
-        )
+        event: dict = {
+            "kind": "step_end",
+            "run": self._run,
+            "step": index,
+            "phase": phase,
+            "bytes": bytes_sent,
+            "messages": messages,
+            "pairs": pairs,
+            "sends": {
+                w: list(counts) for w, counts in sorted(sends.items())
+            },
+            "faults": faults,
+            "retries": retries,
+        }
+        if wall_ms is not None:
+            event["wall_ms"] = wall_ms
+        self.events.append(event)
         self._step = -1
 
     def step_abort(self, index: int, phase: str) -> None:

@@ -41,9 +41,19 @@ class SuperstepHandle:
         self._pairs = 0
         #: src rank -> [messages, bytes] shipped via :meth:`send`.
         self._sends: dict[int, list[int]] = {}
+        #: real wall-clock start, only when the cluster measures wall
+        #: time (process backend); None keeps golden traces byte-stable.
+        self._wall_start = (
+            time.perf_counter() if cluster.measure_wall else None
+        )
         faults = cluster.metrics.faults
         self._faults_base = faults.total_injected
         self._retries_base = faults.retries
+
+    @property
+    def tracer(self):
+        """The cluster's tracer (None when untraced); for backends."""
+        return self._cluster.tracer
 
     @contextmanager
     def compute(self, worker: int) -> Iterator[None]:
@@ -135,6 +145,9 @@ class SuperstepHandle:
         self._cluster.metrics.add_superstep(metrics)
         for worker, seconds in self._compute.items():
             self._cluster.metrics.charge_worker(worker, seconds)
+        wall_ms = None
+        if self._wall_start is not None:
+            wall_ms = (time.perf_counter() - self._wall_start) * 1000.0
         tracer = self._cluster.tracer
         if tracer is not None:
             tracer.step_end(
@@ -146,6 +159,7 @@ class SuperstepHandle:
                 sends=self._sends,
                 faults=metrics.faults_injected,
                 retries=metrics.retries,
+                wall_ms=wall_ms,
             )
         return metrics
 
@@ -160,11 +174,15 @@ class Cluster:
         engine_name: str = "",
         injector=None,
         tracer=None,
+        measure_wall: bool = False,
     ) -> None:
         self.num_workers = num_workers
         self.cost_model = cost_model or CostModel()
         self.injector = injector
         self.tracer = tracer
+        #: record real wall-clock per superstep (process backend); the
+        #: virtual timeline and metrics are unaffected.
+        self.measure_wall = measure_wall
         self.mpi = MPIController(num_workers, injector=injector)
         self.metrics = RunMetrics(engine=engine_name, num_workers=num_workers)
         if injector is not None:

@@ -34,7 +34,6 @@ from repro.core.delta import (
     EdgeDelete,
     EdgeReweight,
     GraphDelta,
-    apply_delta,
 )
 from repro.engineapi.query import build_query
 from repro.engineapi.registry import get_program
@@ -513,7 +512,10 @@ class GrapeService:
         drained = self.drain()  # pending queries observe their version
         update_start = self._clock
         self._mutate_graph(delta)
-        touched = apply_delta(self.session.fragmented, delta)
+        # Route through the engine so process-backend workers replay
+        # the same fragment mutations (effect sync happens once here,
+        # then every standing repair reuses `touched`).
+        touched = self._engine.apply_delta(delta)
         self._version += 1
         invalidated = self._cache.invalidate_before(self._version)
         outcome = UpdateOutcome(

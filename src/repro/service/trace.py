@@ -73,7 +73,10 @@ def load_trace(path: str) -> dict:
 
 
 def build_service(
-    trace: dict, graph_spec: str | None = None, tracer=None
+    trace: dict,
+    graph_spec: str | None = None,
+    tracer=None,
+    backend: str = "simulated",
 ) -> GrapeService:
     """Construct the service a trace describes (graph, partition, knobs)."""
     from repro.engineapi.session import Session
@@ -89,6 +92,7 @@ def build_service(
         num_workers=int(trace.get("workers", 4)),
         partition=trace.get("partition", "hash"),
         tracer=tracer,
+        backend=backend,
     )
     knobs = trace.get("service", {})
     return GrapeService(
@@ -109,6 +113,7 @@ def replay_trace(
     verify: bool | None = None,
     tracer=None,
     mode: str = "batch",
+    backend: str = "simulated",
 ) -> tuple[GrapeService, ServiceReport]:
     """Replay a trace and return ``(service, final report)``.
 
@@ -122,9 +127,13 @@ def replay_trace(
     admissions with lane completions; a query op's optional ``"at"``
     advances the service clock before submitting, which is what gives
     requests distinct arrival times for event mode to honor.
+    ``backend`` (ignored when a pre-built ``service`` is passed) picks
+    the execution backend every dispatched engine run uses.
     """
     if service is None:
-        service = build_service(trace, graph_spec, tracer=tracer)
+        service = build_service(
+            trace, graph_spec, tracer=tracer, backend=backend
+        )
     for standing in trace.get("standing", []):
         service.register_standing(
             standing["name"],

@@ -1,0 +1,33 @@
+"""Fixture: GRP502 — a locally-defined closure stored on the program."""
+
+from repro.core.aggregators import MIN
+from repro.core.pie import ParamSpec, PIEProgram
+
+
+class ClosureCaptureProgram(PIEProgram):
+    name = "fixture-grp502"
+
+    def param_spec(self, query):
+        return ParamSpec(aggregator=MIN, default=None)
+
+    def peval(self, fragment, query, params):
+        dist = {}
+
+        def relax(v):  # closes over dist and fragment
+            return dist.get(v, 0)
+
+        self.relax = relax  # cannot pickle to process workers
+        for v in fragment.border:
+            params.improve(v, dist.get(v, 0))
+        return dist
+
+    def inceval(self, fragment, query, partial, params, changed):
+        for v in changed:
+            params.improve(v, partial.get(v, 0))
+        return partial
+
+    def assemble(self, query, partials):
+        out = {}
+        for partial in partials:
+            out.update(partial)
+        return out

@@ -31,6 +31,9 @@ EXPECTED = {
     "viol_grp402.py": "GRP402",
     "viol_grp403.py": "GRP403",
     "viol_grp404.py": "GRP404",
+    "viol_grp501.py": "GRP501",
+    "viol_grp502.py": "GRP502",
+    "viol_grp503.py": "GRP503",
 }
 
 

@@ -1,0 +1,86 @@
+"""The handoff contract of the process backend: everything it ships
+across a pipe must survive a pickle round-trip unchanged.
+
+Covered: every fragment of a :class:`FragmentedGraph` (both partition
+strategies the oracle suite exercises), :class:`EngineState` (with
+provenance), :class:`GraphDelta`, and every registered builtin program.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.delta import EngineState, GraphDelta
+from repro.engineapi.registry import available_programs, get_program
+from repro.graph.fragment import build_fragments
+from repro.graph.generators import graph_from_spec
+from repro.partition.registry import get_partitioner
+
+
+def _roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return graph_from_spec("road:8x8")
+
+
+@pytest.mark.parametrize("strategy", ["hash", "multilevel"])
+def test_fragments_roundtrip(graph, strategy):
+    partitioner = get_partitioner(strategy)
+    fragmented = build_fragments(
+        graph, partitioner(graph, 3), 3, strategy=strategy
+    )
+    for frag in fragmented.fragments:
+        clone = _roundtrip(frag)
+        assert clone.fid == frag.fid
+        assert sorted(clone.owned) == sorted(frag.owned)
+        assert sorted(clone.border) == sorted(frag.border)
+        assert sorted(clone.inner_border) == sorted(frag.inner_border)
+        assert sorted(clone.mirrors) == sorted(frag.mirrors)
+        assert sorted(
+            (e.src, e.dst, e.weight) for e in clone.graph.edges()
+        ) == sorted((e.src, e.dst, e.weight) for e in frag.graph.edges())
+
+
+def test_engine_state_roundtrip():
+    state = EngineState(
+        partials=[{0: 1.0}, {2: 3.0}],
+        params=[{"a": 1}, {"b": 2}],
+        program_name="sssp",
+        num_fragments=2,
+    )
+    clone = _roundtrip(state)
+    assert clone.partials == state.partials
+    assert clone.params == state.params
+    assert clone.program_name == state.program_name
+    assert clone.num_fragments == state.num_fragments
+
+
+def test_graph_delta_roundtrip():
+    delta = GraphDelta.from_dict(
+        {
+            "insert": [[1, 2, 0.5], [3, 4]],
+            "delete": [[5, 6]],
+            "reweight": [[7, 8, 2.0]],
+        }
+    )
+    clone = _roundtrip(delta)
+    assert clone.ops == delta.ops
+    assert [type(op).__name__ for op in clone.ops] == [
+        type(op).__name__ for op in delta.ops
+    ]
+
+
+@pytest.mark.parametrize("name", available_programs())
+def test_builtin_programs_roundtrip(name):
+    kwargs = {"total_vertices": 64} if name == "pagerank" else {}
+    program = get_program(name, **kwargs)
+    clone = _roundtrip(program)
+    assert type(clone) is type(program)
+    # Aggregator declarations must survive too: they are module-level
+    # named functions, never lambdas (the GRP501 contract).
+    assert _roundtrip(vars(program)) is not None

@@ -1,0 +1,115 @@
+"""AdaptiveRepairPolicy: the learned repair-vs-restart threshold.
+
+The load-bearing regression here is the cold-start pin: until a policy
+has observed BOTH a scoped repair and a restart cost, it must decide
+exactly as the historical static ``repair_fraction`` constant — so a
+fresh engine is bit-compatible with every pre-adaptive run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.sssp import SSSPProgram, SSSPQuery
+from repro.core.delta import GraphDelta
+from repro.core.engine import GrapeEngine
+from repro.core.repair_policy import AdaptiveRepairPolicy
+from repro.errors import ProgramError
+from repro.graph.fragment import build_fragments
+from repro.graph.generators import graph_from_spec
+from repro.partition.registry import get_partitioner
+
+
+def test_uncalibrated_threshold_is_the_fallback():
+    policy = AdaptiveRepairPolicy(fallback=0.37)
+    assert not policy.calibrated
+    assert policy.threshold() == 0.37
+    # One-sided observation is still cold start.
+    policy.observe_scoped(invalidated=10, seconds=0.5)
+    assert not policy.calibrated
+    assert policy.threshold() == 0.37
+    policy.observe_restart(vertices=100, seconds=0.2)
+    assert policy.calibrated
+    assert policy.threshold() != 0.37
+
+
+def test_calibrated_threshold_is_the_clamped_unit_ratio():
+    policy = AdaptiveRepairPolicy(fallback=0.5)
+    # scoped: 0.02 s/vertex; restart: 0.004 s/vertex -> ratio 0.2.
+    policy.observe_scoped(invalidated=10, seconds=0.2)
+    policy.observe_restart(vertices=100, seconds=0.4)
+    assert policy.threshold() == pytest.approx(0.2)
+    # Degenerate histories clamp instead of pinning the decision.
+    cheap_restart = AdaptiveRepairPolicy()
+    cheap_restart.observe_scoped(invalidated=1, seconds=10.0)
+    cheap_restart.observe_restart(vertices=1000, seconds=0.001)
+    assert cheap_restart.threshold() == cheap_restart.min_fraction
+    cheap_scoped = AdaptiveRepairPolicy()
+    cheap_scoped.observe_scoped(invalidated=1000, seconds=0.001)
+    cheap_scoped.observe_restart(vertices=1, seconds=10.0)
+    assert cheap_scoped.threshold() == cheap_scoped.max_fraction
+
+
+def test_ewma_blends_toward_new_observations():
+    policy = AdaptiveRepairPolicy(alpha=0.5)
+    policy.observe_scoped(invalidated=10, seconds=1.0)   # 0.1 s/vertex
+    policy.observe_scoped(invalidated=10, seconds=3.0)   # 0.3 s/vertex
+    assert policy._scoped_unit == pytest.approx(0.2)
+    assert policy.scoped_batches == 2
+
+
+def test_non_positive_observations_are_ignored():
+    policy = AdaptiveRepairPolicy()
+    policy.observe_scoped(invalidated=0, seconds=1.0)
+    policy.observe_scoped(invalidated=5, seconds=0.0)
+    policy.observe_restart(vertices=-1, seconds=1.0)
+    assert policy.scoped_batches == 0
+    assert policy.restart_runs == 0
+    assert not policy.calibrated
+
+
+def test_constructor_validation():
+    with pytest.raises(ProgramError):
+        AdaptiveRepairPolicy(fallback=1.5)
+    with pytest.raises(ProgramError):
+        AdaptiveRepairPolicy(alpha=0.0)
+
+
+def _engine(repair_fraction=0.5, policy=None):
+    graph = graph_from_spec("road:6x6")
+    fragmented = build_fragments(
+        graph, get_partitioner("hash")(graph, 2), 2, strategy="hash"
+    )
+    return GrapeEngine(
+        fragmented,
+        repair_fraction=repair_fraction,
+        repair_policy=policy,
+    )
+
+
+def test_engine_defaults_policy_fallback_to_repair_fraction():
+    engine = _engine(repair_fraction=0.25)
+    assert engine.repair_policy.fallback == 0.25
+    assert engine.repair_policy.threshold() == 0.25
+
+
+def test_fresh_engine_first_unsafe_batch_decides_via_fallback():
+    """The cold-start pin: batch #1 sees the static constant."""
+    engine = _engine(repair_fraction=0.5)
+    program, query = SSSPProgram(), SSSPQuery(source=0)
+    cold = engine.run(program, query, keep_state=True)
+    # After PEval one restart-cost observation exists, but no scoped
+    # one: the first unsafe batch still decides via the fallback.
+    assert engine.repair_policy.restart_runs >= 1
+    assert engine.repair_policy.scoped_batches == 0
+    assert engine.repair_policy.threshold() == 0.5
+    edges = sorted((e.src, e.dst) for e in engine.fragmented.fragments[0]
+                   .graph.edges())
+    delta = GraphDelta.from_dict({"delete": [list(edges[0])]})
+    inc = engine.run_incremental(program, query, cold.state, delta)
+    assert inc.repair.mode in ("scoped", "full")
+    # Whatever path ran, it fed the estimator for the next batch.
+    assert (
+        engine.repair_policy.scoped_batches >= 1
+        or engine.repair_policy.restart_runs >= 2
+    )
