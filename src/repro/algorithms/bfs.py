@@ -55,7 +55,7 @@ def local_bfs(
         d = updates[v]
         if max_depth is not None and d >= max_depth:
             continue
-        for u in graph.out_neighbors(v):
+        for u, _ in graph.iter_out(v):
             nd = d + 1
             if nd < updates.get(u, prior.get(u, INF)):
                 updates[u] = nd
@@ -186,7 +186,7 @@ class BFSProgram(PIEProgram[BFSQuery, Partial, dict]):
             du = partial.get(u, INF)
             if du == INF:
                 continue
-            for v in fragment.graph.out_neighbors(u):
+            for v, _ in fragment.graph.iter_out(u):
                 if v in region:
                     continue
                 if partial.get(v, INF) == du + 1:
@@ -212,7 +212,7 @@ class BFSProgram(PIEProgram[BFSQuery, Partial, dict]):
             if not fragment.graph.has_vertex(v):
                 continue
             best = seeds.get(v, INF)
-            for u in fragment.graph.in_neighbors(v):
+            for u, _ in fragment.graph.iter_in(v):
                 if u in region:
                     continue
                 du = partial.get(u, INF)

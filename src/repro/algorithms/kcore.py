@@ -70,7 +70,7 @@ class KCoreProgram(PIEProgram[KCoreQuery, Partial, dict]):
         self, fragment: Fragment, query: KCoreQuery, params: UpdateParams
     ) -> Partial:
         partial: Partial = {
-            v: len(set(fragment.graph.neighbors(v)) - {v})
+            v: sum(1 for p in fragment.graph.iter_neighbors(v) if p != v)
             for v in fragment.owned
         }
         _, work = converge_h_index(
@@ -92,7 +92,7 @@ class KCoreProgram(PIEProgram[KCoreQuery, Partial, dict]):
             p
             for m in changed
             if m in fragment.graph
-            for p in fragment.graph.neighbors(m)
+            for p in fragment.graph.iter_neighbors(m)
             if p in partial
         }
         external = self._external(fragment, params)
@@ -110,7 +110,7 @@ class KCoreProgram(PIEProgram[KCoreQuery, Partial, dict]):
             dirty = {
                 p
                 for v in changes
-                for p in fragment.graph.neighbors(v)
+                for p in fragment.graph.iter_neighbors(v)
                 if p in partial
             }
         self.work_log.append(("inceval", fragment.fid, total_work))
@@ -149,7 +149,7 @@ class KCoreProgram(PIEProgram[KCoreQuery, Partial, dict]):
             dirty = {
                 p
                 for v in changes
-                for p in fragment.graph.neighbors(v)
+                for p in fragment.graph.iter_neighbors(v)
                 if p in partial
             }
         return total_work
@@ -176,12 +176,16 @@ class KCoreProgram(PIEProgram[KCoreQuery, Partial, dict]):
             for v in (op.src, op.dst):
                 if v not in partial or not fragment.graph.has_vertex(v):
                     continue
-                degree = len(set(fragment.graph.neighbors(v)) - {v})
+                degree = sum(
+                    1 for p in fragment.graph.iter_neighbors(v) if p != v
+                )
                 if partial[v] > degree:
                     partial[v] = degree
                 dirty.add(v)
                 dirty.update(
-                    p for p in fragment.graph.neighbors(v) if p in partial
+                    p
+                    for p in fragment.graph.iter_neighbors(v)
+                    if p in partial
                 )
         work = self._settle(fragment, partial, params, dirty)
         self.work_log.append(("update", fragment.fid, work))
@@ -219,7 +223,9 @@ class KCoreProgram(PIEProgram[KCoreQuery, Partial, dict]):
         dirty: set = set()
         for v in region:
             if v in partial and fragment.graph.has_vertex(v):
-                partial[v] = len(set(fragment.graph.neighbors(v)) - {v})
+                partial[v] = sum(
+                    1 for p in fragment.graph.iter_neighbors(v) if p != v
+                )
                 dirty.add(v)
         work = self._settle(fragment, partial, params, dirty)
         self.work_log.append(("repair", fragment.fid, work))

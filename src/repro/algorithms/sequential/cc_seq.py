@@ -63,7 +63,7 @@ def incremental_min_labels(
         v = queue.popleft()
         touched += 1
         label = labels[v]
-        for u in graph.neighbors(v):
+        for u in graph.iter_neighbors(v):
             if label < labels.get(u, u):
                 labels[u] = label
                 changes[u] = label

@@ -57,11 +57,13 @@ def dijkstra(
             continue
         dist[v] = cost
         settled += 1
-        for edge in graph.out_edges(v):
-            candidate = cost + edge.weight
-            best = dist.get(edge.dst, prior.get(edge.dst, INF))
+        # iter_out streams (dst, weight) pairs straight off the store —
+        # for CSR that's a zero-copy walk of the row arrays
+        for dst, weight in graph.iter_out(v):
+            candidate = cost + weight
+            best = dist.get(dst, prior.get(dst, INF))
             if candidate < best:
-                heap.push_if_lower(edge.dst, candidate)
+                heap.push_if_lower(dst, candidate)
     return dist, settled
 
 

@@ -27,7 +27,9 @@ VertexId = Hashable
 
 def core_numbers(graph: Graph) -> dict[VertexId, int]:
     """Exact core numbers by min-degree peeling (undirected semantics)."""
-    degree = {v: len(set(graph.neighbors(v))) for v in graph.vertices()}
+    degree = {
+        v: sum(1 for _ in graph.iter_neighbors(v)) for v in graph.vertices()
+    }
     # bucket queue over degrees
     buckets: dict[int, set[VertexId]] = {}
     for v, d in degree.items():
@@ -47,7 +49,7 @@ def core_numbers(graph: Graph) -> dict[VertexId, int]:
             continue
         remaining.discard(v)
         core[v] = current
-        for u in set(graph.neighbors(v)):
+        for u in graph.iter_neighbors(v):
             if u in remaining and degree[u] > current:
                 buckets[degree[u]].discard(u)
                 degree[u] -= 1
@@ -90,7 +92,7 @@ def h_index_round(
             continue
         work += 1
         nbr_estimates = []
-        for u in set(graph.neighbors(v)):
+        for u in graph.iter_neighbors(v):
             if u == v:
                 continue
             if u in estimate:
@@ -132,7 +134,7 @@ def converge_h_index(
             p
             for v in changes
             if v in graph
-            for p in graph.neighbors(v)
+            for p in graph.iter_neighbors(v)
             if p in estimate
         }
     return all_changes, total_work

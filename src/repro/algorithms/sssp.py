@@ -176,12 +176,12 @@ class SSSPProgram(PIEProgram[SSSPQuery, Partial, dict]):
             du = partial.get(u, INF)
             if du == INF:
                 continue
-            for e in fragment.graph.out_edges(u):
-                if e.dst in region:
+            for dst, weight in fragment.graph.iter_out(u):
+                if dst in region:
                     continue
-                if partial.get(e.dst, INF) >= du + e.weight:
-                    region.add(e.dst)
-                    stack.append(e.dst)
+                if partial.get(dst, INF) >= du + weight:
+                    region.add(dst)
+                    stack.append(dst)
         return region
 
     def repair_partial(
@@ -209,12 +209,12 @@ class SSSPProgram(PIEProgram[SSSPQuery, Partial, dict]):
             if not fragment.graph.has_vertex(v):
                 continue
             best = seeds.get(v, INF)
-            for e in fragment.graph.in_edges(v):
-                if e.src in region:
+            for src, weight in fragment.graph.iter_in(v):
+                if src in region:
                     continue
-                du = partial.get(e.src, INF)
-                if du < INF and du + e.weight < best:
-                    best = du + e.weight
+                du = partial.get(src, INF)
+                if du < INF and du + weight < best:
+                    best = du + weight
             if best < INF:
                 seeds[v] = best
         updates, settled = incremental_sssp(fragment.graph, partial, seeds)

@@ -228,6 +228,15 @@ _RULES = (
         "boundary; open handles inside the method that uses them, or "
         "keep them off the program object",
     ),
+    RuleInfo(
+        "GRP504",
+        "storage",
+        "warning",
+        "PIE method materializes a whole neighbor list",
+        "CSR-backed fragments stream adjacency zero-copy; iterate "
+        "graph.iter_neighbors()/iter_out()/iter_in() directly instead "
+        "of copying the row with list()/set()/sorted() every superstep",
+    ),
 )
 
 #: code -> RuleInfo for every known rule.

@@ -18,10 +18,13 @@ from repro.analysis.rules import (
     contract,
     isolation,
     pickle_safety,
+    storage,
 )
 
 #: The rule families, in report order.
-FAMILIES = (aggregator, boundedness, isolation, contract, pickle_safety)
+FAMILIES = (
+    aggregator, boundedness, isolation, contract, pickle_safety, storage,
+)
 
 __all__ = ["FAMILIES", "run_rules"]
 

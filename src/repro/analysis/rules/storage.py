@@ -1,0 +1,70 @@
+"""GRP504 — storage-friendly adjacency access in PIE hot loops.
+
+CSR-backed fragments (``Graph(store="csr")``) stream adjacency straight
+off the row arrays: ``iter_out`` / ``iter_in`` / ``iter_neighbors`` are
+zero-copy walks. Wrapping a neighbor accessor in ``list()`` / ``set()``
+/ ``sorted()`` materializes the whole row into a fresh Python container
+on *every* superstep that touches the vertex — the classic accidental
+O(degree) allocation that dominates PEval/IncEval on dense fragments.
+This rule flags those materializations so programs keep the lazy form
+(membership tests and single passes never need the copy).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, make_finding
+from repro.analysis.inspector import ModuleInfo, ProgramInfo, dotted_name
+from repro.analysis.rules.common import iter_methods
+
+#: Graph accessors that yield (or already return) a vertex's adjacency.
+_NEIGHBOR_ACCESSORS = {
+    "neighbors",
+    "out_neighbors",
+    "in_neighbors",
+    "iter_neighbors",
+    "iter_out",
+    "iter_in",
+}
+
+#: Builtins that copy their argument into a fresh container.
+_MATERIALIZERS = {"list", "set", "tuple", "sorted", "frozenset"}
+
+
+def _neighbor_call(node: ast.AST) -> str | None:
+    """The accessor name when ``node`` is ``<recv>.neighbors(...)``-like."""
+    if not isinstance(node, ast.Call):
+        return None
+    callee = dotted_name(node.func)
+    if callee is None:
+        return None
+    attr = callee.rsplit(".", 1)[-1]
+    return attr if attr in _NEIGHBOR_ACCESSORS else None
+
+
+def check(program: ProgramInfo, module: ModuleInfo) -> Iterator[Finding]:
+    for method in iter_methods(program):
+        for sub in ast.walk(method.node):
+            if not isinstance(sub, ast.Call):
+                continue
+            func = sub.func
+            if (
+                not isinstance(func, ast.Name)
+                or func.id not in _MATERIALIZERS
+                or not sub.args
+            ):
+                continue
+            accessor = _neighbor_call(sub.args[0])
+            if accessor is None:
+                continue
+            yield make_finding(
+                "GRP504",
+                f"`{func.id}(...{accessor}(...))` materializes a whole "
+                "neighbor list in a PIE hot path",
+                path=program.path,
+                node=sub,
+                program=program.name,
+                method=method.name,
+            )

@@ -178,7 +178,7 @@ class PIEProgram(abc.ABC, Generic[Q, P, R]):
         stack = [v for v in seeds if fragment.graph.has_vertex(v)]
         while stack:
             u = stack.pop()
-            for v in fragment.graph.neighbors(u):
+            for v in fragment.graph.iter_neighbors(u):
                 if v not in region:
                     region.add(v)
                     stack.append(v)

@@ -28,18 +28,19 @@ from repro.graph.digraph import Graph
 from repro.graph.generators import graph_from_spec
 from repro.partition.base import evaluate_partition
 from repro.partition.registry import available_strategies, get_partitioner
+from repro.graph.store import STORES
 from repro.runtime.backends import BACKENDS
 
 
-def _make_graph(spec: str) -> Graph:
+def _make_graph(spec: str, store: str | None = None) -> Graph:
     """Parse ``kind:params`` graph specs used by the CLI."""
-    return graph_from_spec(spec)
+    return graph_from_spec(spec, store=store)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     import json
 
-    graph = _make_graph(args.graph)
+    graph = _make_graph(args.graph, getattr(args, "store", None))
     tracer = None
     if args.trace_out:
         from repro.obs import Tracer
@@ -292,6 +293,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.replicas > 1:
         from repro.service.fleet import default_chaos_plan, replay_fleet_trace
 
+        if args.store is not None:
+            raise GrapeError(
+                "--store applies to single-service replay; the fleet "
+                "manages its replicas' storage itself"
+            )
         if args.backend != "simulated":
             raise GrapeError(
                 "--replicas > 1 serves through the simulated fleet; "
@@ -319,6 +325,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             tracer=tracer,
             mode=args.drain_mode,
             backend=args.backend,
+            store=args.store,
         )
     if args.json:
         print(report.to_json())
@@ -351,7 +358,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     from repro.service.service import canonical_answer_bytes
 
-    graph = _make_graph(args.graph)
+    graph = _make_graph(args.graph, getattr(args, "store", None))
     kwargs: dict[str, object] = {}
     if args.source is not None:
         kwargs["source"] = args.source
@@ -482,6 +489,10 @@ def build_parser() -> argparse.ArgumentParser:
              "byte-identical answers)",
     )
     run.add_argument(
+        "--store", choices=list(STORES), default=None,
+        help="fragment storage backend: dict (adjacency dicts, the default) or csr (compact array rows with a delta-aware overlay; byte-identical answers)",
+    )
+    run.add_argument(
         "--updates", default=None, metavar="FILE.json",
         help="after a cold run, apply this ΔG batch "
              '({"insert": [[src,dst,w?]...], "delete": [[src,dst]...], '
@@ -546,6 +557,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend for dispatched engine runs "
              "(single-service mode only; the fleet stays simulated)",
     )
+    serve.add_argument(
+        "--store", choices=list(STORES), default=None,
+        help="fragment storage backend: dict (adjacency dicts, the default) or csr (compact array rows with a delta-aware overlay; byte-identical answers)",
+    )
     serve.add_argument("--json", action="store_true",
                        help="machine-readable service report")
     serve.add_argument(
@@ -600,6 +615,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--repeat", type=int, default=3,
         help="timed runs per backend after one untimed warmup (default 3)",
+    )
+    bench.add_argument(
+        "--store", choices=list(STORES), default=None,
+        help="fragment storage backend: dict (adjacency dicts, the default) or csr (compact array rows with a delta-aware overlay; byte-identical answers)",
     )
     bench.add_argument("--json", action="store_true",
                        help="machine-readable A/B results")

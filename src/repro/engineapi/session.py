@@ -45,6 +45,8 @@ class Session:
             instance over this session's fragmentation. One backend is
             shared by every engine the session builds, so process
             workers persist across queries.
+        store: fragment storage backend name ("dict"/"csr"); by default
+            fragments inherit the graph's own store.
     """
 
     def __init__(
@@ -58,8 +60,10 @@ class Session:
         validate: bool = False,
         tracer=None,
         backend: str | ExecutionBackend = "simulated",
+        store: str | None = None,
     ) -> None:
         self.graph = graph
+        self.store = store
         self.num_workers = num_workers
         self.cost_model = cost_model or CostModel()
         self.check_monotonic = check_monotonic
@@ -124,6 +128,7 @@ class Session:
                 assignment,
                 self.num_workers,
                 strategy=self._partitioner.name,
+                store=self.store,
             )
         return self._fragmented
 

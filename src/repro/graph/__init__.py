@@ -4,6 +4,8 @@ from repro.graph.digraph import Edge, Graph
 from repro.graph.builder import GraphBuilder
 from repro.graph.fragment import Fragment, FragmentedGraph, build_fragments
 from repro.graph.properties import PropertyMap
+from repro.graph.store import STORES, DictStore, GraphStore, make_store
+from repro.graph.csr import CSRStore
 
 __all__ = [
     "Edge",
@@ -13,4 +15,9 @@ __all__ = [
     "FragmentedGraph",
     "build_fragments",
     "PropertyMap",
+    "GraphStore",
+    "DictStore",
+    "CSRStore",
+    "STORES",
+    "make_store",
 ]

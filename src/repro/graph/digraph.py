@@ -11,6 +11,15 @@ Both out- and in-adjacency are maintained so traversal algorithms
 either direction in O(degree). The structure is mutable; fragments and
 views share no storage with the parent graph (copies are explicit), which
 keeps worker-local state in the simulated cluster honest.
+
+Storage is pluggable (``Graph(store=...)``): the graph itself is a thin
+facade holding every compound rule — undirected double-writes, edge
+counting, incident-edge cleanup, error raising — over a
+:class:`repro.graph.store.GraphStore` that owns the flat layout. The
+default ``"dict"`` store is the original adjacency-dict structure and the
+byte-exact oracle; ``"csr"`` swaps in compact array-backed rows with a
+delta-aware overlay (:mod:`repro.graph.csr`) behind the identical API
+and iteration order.
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ from dataclasses import dataclass
 from typing import Hashable, Iterable, Iterator
 
 from repro.errors import GraphError
+from repro.graph.store import GraphStore, make_store
 
 VertexId = Hashable
 
@@ -45,14 +55,24 @@ class Graph:
         g.edge_weight(1, 2)     # -> 3.0
     """
 
-    def __init__(self, directed: bool = True) -> None:
+    def __init__(
+        self,
+        directed: bool = True,
+        store: str | GraphStore | None = None,
+    ) -> None:
         self.directed = directed
-        self._out: dict[VertexId, dict[VertexId, float]] = {}
-        self._in: dict[VertexId, dict[VertexId, float]] = {}
-        self._vlabel: dict[VertexId, str | None] = {}
-        self._vprops: dict[VertexId, dict[str, object]] = {}
-        self._elabel: dict[tuple[VertexId, VertexId], str] = {}
+        self._store = make_store(store)
         self._num_edges = 0
+
+    @property
+    def store_kind(self) -> str:
+        """Name of the backing store ("dict", "csr", ...)."""
+        return self._store.kind
+
+    @property
+    def store(self) -> GraphStore:
+        """The backing :class:`GraphStore` (for storage-aware tooling)."""
+        return self._store
 
     # ------------------------------------------------------------------
     # Construction
@@ -64,14 +84,10 @@ class Graph:
         **props: object,
     ) -> None:
         """Add vertex ``v`` (idempotent); label/props update existing."""
-        if v not in self._out:
-            self._out[v] = {}
-            self._in[v] = {}
-            self._vlabel[v] = label
-        elif label is not None:
-            self._vlabel[v] = label
+        if not self._store.add_vertex(v, label) and label is not None:
+            self._store.set_vertex_label(v, label)
         if props:
-            self._vprops.setdefault(v, {}).update(props)
+            self._store.update_vertex_props(v, props)
 
     def add_edge(
         self,
@@ -89,45 +105,43 @@ class Graph:
             raise GraphError(f"negative edge weight {weight} on {src}->{dst}")
         self.add_vertex(src)
         self.add_vertex(dst)
-        fresh = dst not in self._out[src]
-        self._out[src][dst] = weight
-        self._in[dst][src] = weight
+        fresh = self._store.set_arc(src, dst, weight)
         if label is not None:
-            self._elabel[(src, dst)] = label
+            self._store.set_arc_label(src, dst, label)
         if not self.directed:
-            self._out[dst][src] = weight
-            self._in[src][dst] = weight
+            self._store.set_arc(dst, src, weight)
             if label is not None:
-                self._elabel[(dst, src)] = label
+                self._store.set_arc_label(dst, src, label)
         if fresh:
             self._num_edges += 1
 
     def remove_edge(self, src: VertexId, dst: VertexId) -> None:
         """Remove edge ``src -> dst``; GraphError if absent."""
-        if src not in self._out or dst not in self._out[src]:
+        if not self.has_edge(src, dst):
             raise GraphError(f"no edge {src}->{dst}")
-        del self._out[src][dst]
-        del self._in[dst][src]
-        self._elabel.pop((src, dst), None)
+        self._store.delete_arc(src, dst)
         if not self.directed:
-            del self._out[dst][src]
-            del self._in[src][dst]
-            self._elabel.pop((dst, src), None)
+            self._store.delete_arc(dst, src)
         self._num_edges -= 1
 
     def remove_vertex(self, v: VertexId) -> None:
         """Remove ``v`` and all incident edges; GraphError if absent."""
-        if v not in self._out:
-            raise GraphError(f"no vertex {v}")
-        for dst in list(self._out[v]):
+        self._require(v)
+        for dst in self.out_neighbors(v):
             self.remove_edge(v, dst)
-        for src in list(self._in[v]):
-            if src in self._out and v in self._out[src]:
+        for src in self.in_neighbors(v):
+            if self.has_edge(src, v):
                 self.remove_edge(src, v)
-        del self._out[v]
-        del self._in[v]
-        del self._vlabel[v]
-        self._vprops.pop(v, None)
+        self._store.drop_vertex(v)
+
+    def compact(self) -> bool:
+        """Fold any storage overlay into its base layout (True if it ran).
+
+        A no-op for the dict store; for CSR this forces the side log
+        back into fresh base arrays without waiting for the automatic
+        threshold. Semantically invisible either way.
+        """
+        return self._store.compact()
 
     # ------------------------------------------------------------------
     # Inspection
@@ -135,7 +149,7 @@ class Graph:
     @property
     def num_vertices(self) -> int:
         """Number of vertices."""
-        return len(self._out)
+        return self._store.num_vertices()
 
     @property
     def num_edges(self) -> int:
@@ -143,73 +157,97 @@ class Graph:
         return self._num_edges
 
     def __len__(self) -> int:
-        return len(self._out)
+        return self._store.num_vertices()
 
     def __contains__(self, v: VertexId) -> bool:
-        return v in self._out
+        return self._store.has_vertex(v)
 
     def has_vertex(self, v: VertexId) -> bool:
         """Whether vertex ``v`` exists."""
-        return v in self._out
+        return self._store.has_vertex(v)
 
     def has_edge(self, src: VertexId, dst: VertexId) -> bool:
         """Whether edge ``src -> dst`` exists."""
-        return src in self._out and dst in self._out[src]
+        return self._store.has_vertex(src) and self._store.has_arc(src, dst)
 
     def vertices(self) -> Iterator[VertexId]:
         """Iterate all vertex ids."""
-        return iter(self._out)
+        return self._store.vertices()
 
     def edges(self) -> Iterator[Edge]:
         """Iterate every stored directed edge (each once for directed)."""
-        for src, nbrs in self._out.items():
-            for dst, weight in nbrs.items():
+        for src in self._store.vertices():
+            for dst, weight, label in self._store.out_items_labeled(src):
                 if not self.directed and repr(dst) < repr(src):
                     continue  # report each undirected edge once
-                yield Edge(src, dst, weight, self._elabel.get((src, dst)))
+                yield Edge(src, dst, weight, label)
 
     def out_neighbors(self, v: VertexId) -> list[VertexId]:
         """Targets of ``v``'s outgoing edges."""
         self._require(v)
-        return list(self._out[v])
+        return [dst for dst, _ in self._store.out_items(v)]
 
     def in_neighbors(self, v: VertexId) -> list[VertexId]:
         """Sources of ``v``'s incoming edges."""
         self._require(v)
-        return list(self._in[v])
+        return [src for src, _ in self._store.in_items(v)]
 
     def neighbors(self, v: VertexId) -> list[VertexId]:
         """Union of out- and in-neighbors (undirected adjacency)."""
+        return list(self.iter_neighbors(v))
+
+    def iter_out(self, v: VertexId) -> Iterator[tuple[VertexId, float]]:
+        """Lazy ``(dst, weight)`` over ``v``'s out-edges (no list built).
+
+        The zero-copy hot path for PEval/IncEval inner loops: CSR rows
+        stream straight out of the arrays.
+        """
         self._require(v)
-        merged = dict.fromkeys(self._out[v])
-        merged.update(dict.fromkeys(self._in[v]))
-        return list(merged)
+        return self._store.out_items(v)
+
+    def iter_in(self, v: VertexId) -> Iterator[tuple[VertexId, float]]:
+        """Lazy ``(src, weight)`` over ``v``'s in-edges (no list built)."""
+        self._require(v)
+        return self._store.in_items(v)
+
+    def iter_neighbors(self, v: VertexId) -> Iterator[VertexId]:
+        """Lazy union of out- then unseen in-neighbors (stable order)."""
+        self._require(v)
+        seen = {}
+        for dst, _ in self._store.out_items(v):
+            if dst not in seen:
+                seen[dst] = None
+                yield dst
+        for src, _ in self._store.in_items(v):
+            if src not in seen:
+                seen[src] = None
+                yield src
 
     def out_edges(self, v: VertexId) -> list[Edge]:
         """This vertex's outgoing edges."""
         self._require(v)
         return [
-            Edge(v, dst, w, self._elabel.get((v, dst)))
-            for dst, w in self._out[v].items()
+            Edge(v, dst, w, label)
+            for dst, w, label in self._store.out_items_labeled(v)
         ]
 
     def in_edges(self, v: VertexId) -> list[Edge]:
         """Incoming edges of ``v``."""
         self._require(v)
         return [
-            Edge(src, v, w, self._elabel.get((src, v)))
-            for src, w in self._in[v].items()
+            Edge(src, v, w, label)
+            for src, w, label in self._store.in_items_labeled(v)
         ]
 
     def out_degree(self, v: VertexId) -> int:
         """Number of outgoing edges of ``v``."""
         self._require(v)
-        return len(self._out[v])
+        return self._store.out_degree(v)
 
     def in_degree(self, v: VertexId) -> int:
         """Number of incoming edges of ``v``."""
         self._require(v)
-        return len(self._in[v])
+        return self._store.in_degree(v)
 
     def degree(self, v: VertexId) -> int:
         """Number of distinct neighbors of ``v`` (either direction)."""
@@ -219,74 +257,98 @@ class Graph:
         """Weight of edge ``src -> dst`` (GraphError if absent)."""
         if not self.has_edge(src, dst):
             raise GraphError(f"no edge {src}->{dst}")
-        return self._out[src][dst]
+        return self._store.arc_weight(src, dst)
 
     def edge_label(self, src: VertexId, dst: VertexId) -> str | None:
         """Label of edge ``src -> dst`` (GraphError if absent)."""
         if not self.has_edge(src, dst):
             raise GraphError(f"no edge {src}->{dst}")
-        return self._elabel.get((src, dst))
+        return self._store.arc_label(src, dst)
 
     def vertex_label(self, v: VertexId) -> str | None:
         """Label of vertex ``v`` (GraphError if absent)."""
         self._require(v)
-        return self._vlabel[v]
+        return self._store.vertex_label(v)
 
     def vertex_props(self, v: VertexId) -> dict[str, object]:
         """Property dict of vertex ``v`` (may be empty)."""
         self._require(v)
-        return self._vprops.get(v, {})
+        return self._store.vertex_props(v)
 
     def vertices_with_label(self, label: str) -> list[VertexId]:
         """All vertices carrying ``label`` (linear scan; see storage.index)."""
-        return [v for v, lab in self._vlabel.items() if lab == label]
+        store = self._store
+        return [v for v in store.vertices() if store.vertex_label(v) == label]
 
     # ------------------------------------------------------------------
     # Derivation
     # ------------------------------------------------------------------
+    def _blank(self, directed: bool) -> "Graph":
+        """Empty graph on a fresh store of the same kind/configuration."""
+        return Graph(directed=directed, store=self._store.fresh())
+
     def copy(self) -> "Graph":
         """Deep-enough copy: structure and labels; props shallow-copied."""
-        g = Graph(directed=self.directed)
-        for v in self._out:
-            g.add_vertex(v, self._vlabel[v], **self._vprops.get(v, {}))
-        for src, nbrs in self._out.items():
-            for dst, w in nbrs.items():
-                if not self.directed and (dst, src) in g._elabel:
+        store = self._store
+        g = self._blank(self.directed)
+        for v in store.vertices():
+            g.add_vertex(v, store.vertex_label(v), **store.vertex_props(v))
+        for src in store.vertices():
+            for dst, w, label in store.out_items_labeled(src):
+                if not self.directed and g.has_edge(src, dst):
                     continue
-                g.add_edge(src, dst, w, self._elabel.get((src, dst)))
+                g.add_edge(src, dst, w, label)
         return g
 
     def subgraph(self, vertices: Iterable[VertexId]) -> "Graph":
         """Induced subgraph over ``vertices`` (copies labels/props)."""
         keep = set(vertices)
-        g = Graph(directed=self.directed)
+        store = self._store
+        g = self._blank(self.directed)
         for v in keep:
             self._require(v)
-            g.add_vertex(v, self._vlabel[v], **self._vprops.get(v, {}))
+            g.add_vertex(v, store.vertex_label(v), **store.vertex_props(v))
         for src in keep:
-            for dst, w in self._out[src].items():
+            for dst, w, label in store.out_items_labeled(src):
                 if dst in keep:
-                    g.add_edge(src, dst, w, self._elabel.get((src, dst)))
+                    g.add_edge(src, dst, w, label)
         return g
 
     def reversed(self) -> "Graph":
         """Graph with every edge direction flipped."""
-        g = Graph(directed=self.directed)
-        for v in self._out:
-            g.add_vertex(v, self._vlabel[v], **self._vprops.get(v, {}))
-        for src, nbrs in self._out.items():
-            for dst, w in nbrs.items():
-                g.add_edge(dst, src, w, self._elabel.get((src, dst)))
+        store = self._store
+        g = self._blank(self.directed)
+        for v in store.vertices():
+            g.add_vertex(v, store.vertex_label(v), **store.vertex_props(v))
+        for src in store.vertices():
+            for dst, w, label in store.out_items_labeled(src):
+                g.add_edge(dst, src, w, label)
         return g
 
     def as_undirected(self) -> "Graph":
         """Undirected copy (weights of antiparallel pairs: last wins)."""
-        g = Graph(directed=False)
-        for v in self._out:
-            g.add_vertex(v, self._vlabel[v], **self._vprops.get(v, {}))
-        for src, nbrs in self._out.items():
-            for dst, w in nbrs.items():
-                g.add_edge(src, dst, w, self._elabel.get((src, dst)))
+        store = self._store
+        g = self._blank(False)
+        for v in store.vertices():
+            g.add_vertex(v, store.vertex_label(v), **store.vertex_props(v))
+        for src in store.vertices():
+            for dst, w, label in store.out_items_labeled(src):
+                g.add_edge(src, dst, w, label)
+        return g
+
+    def with_store(self, store: str | GraphStore) -> "Graph":
+        """Copy of this graph rebuilt on a different backing store."""
+        g = Graph(directed=self.directed, store=store)
+        src_store = self._store
+        for v in src_store.vertices():
+            g.add_vertex(
+                v, src_store.vertex_label(v), **src_store.vertex_props(v)
+            )
+        for src in src_store.vertices():
+            for dst, w, label in src_store.out_items_labeled(src):
+                if not self.directed and g.has_edge(src, dst):
+                    continue
+                g.add_edge(src, dst, w, label)
         return g
 
     def __repr__(self) -> str:
@@ -294,5 +356,5 @@ class Graph:
         return f"<Graph {kind} |V|={self.num_vertices} |E|={self.num_edges}>"
 
     def _require(self, v: VertexId) -> None:
-        if v not in self._out:
+        if not self._store.has_vertex(v):
             raise GraphError(f"no vertex {v}")

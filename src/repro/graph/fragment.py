@@ -23,6 +23,7 @@ from typing import Hashable, Mapping, Sequence
 
 from repro.errors import PartitionError
 from repro.graph.digraph import Graph
+from repro.graph.store import GraphStore, make_store
 
 VertexId = Hashable
 
@@ -142,6 +143,22 @@ class FragmentedGraph:
     def num_fragments(self) -> int:
         """Number of fragments (= workers)."""
         return len(self.fragments)
+
+    @property
+    def store_kind(self) -> str:
+        """Backing store of the fragment graphs ("dict", "csr", ...)."""
+        return (
+            self.fragments[0].graph.store_kind if self.fragments else "dict"
+        )
+
+    def compact(self) -> int:
+        """Fold every fragment's storage overlay; returns fragments run.
+
+        Coordinator-side only: process-backend worker copies compact on
+        their own mutation thresholds (compaction is semantically
+        invisible, so the two sides never diverge).
+        """
+        return sum(1 for f in self.fragments if f.graph.compact())
 
     @property
     def num_vertices(self) -> int:
@@ -347,6 +364,7 @@ def expand_fragments(
     graph: Graph,
     fragmented: FragmentedGraph,
     radius: int,
+    store: str | GraphStore | None = None,
 ) -> FragmentedGraph:
     """d-hop replication: grow each fragment's local graph by ``radius``.
 
@@ -357,7 +375,12 @@ def expand_fragments(
     with no IncEval rounds — the strategy GRAPE uses for SubIso. The
     replication cost (extra vertices per fragment) is the space/comm
     trade-off the caller should meter at load time.
+
+    ``store`` overrides the fragment storage backend; by default the
+    expanded fragments inherit the parent graph's store (``subgraph``
+    preserves it).
     """
+    proto = make_store(store) if store is not None else None
     expanded: list[Fragment] = []
     for frag in fragmented.fragments:
         keep = set(frag.owned)
@@ -373,6 +396,9 @@ def expand_fragments(
             if not frontier:
                 break
         local = graph.subgraph(keep)
+        if proto is not None and local.store_kind != proto.kind:
+            local = local.with_store(proto.fresh())
+        local.compact()  # steady-state layout (no-op for dict)
         mirrors = {
             v: fragmented.owner_of(v) for v in keep if v not in frag.owned
         }
@@ -397,6 +423,7 @@ def build_fragments(
     assignment: Mapping[VertexId, int],
     num_fragments: int,
     strategy: str = "unknown",
+    store: str | GraphStore | None = None,
 ) -> FragmentedGraph:
     """Materialize edge-cut fragments from a vertex -> fragment map.
 
@@ -405,6 +432,11 @@ def build_fragments(
     (with labels/properties), all out-edges of owned vertices, and mirror
     copies (with labels/properties, so pattern matching can inspect them)
     of cross-edge targets.
+
+    ``store`` selects the fragment storage backend (name or prototype
+    instance; every fragment gets its own fresh store). By default
+    fragments inherit the parent graph's store, so a CSR-backed input
+    yields CSR-backed fragments with no extra plumbing.
     """
     if num_fragments < 1:
         raise PartitionError("need at least one fragment")
@@ -415,8 +447,10 @@ def build_fragments(
         if not 0 <= fid < num_fragments:
             raise PartitionError(f"vertex {v} assigned to invalid {fid}")
 
+    proto = make_store(store) if store is not None else graph.store
     locals_: list[Graph] = [
-        Graph(directed=graph.directed) for _ in range(num_fragments)
+        Graph(directed=graph.directed, store=proto.fresh())
+        for _ in range(num_fragments)
     ]
     owned: list[set[VertexId]] = [set() for _ in range(num_fragments)]
     mirrors: list[dict[VertexId, int]] = [{} for _ in range(num_fragments)]
@@ -456,6 +490,12 @@ def build_fragments(
                 local_dst.add_edge(edge.dst, edge.src, edge.weight, edge.label)
                 mirrors[dst_fid][edge.src] = src_fid
                 inner_border[src_fid].add(edge.src)
+
+    for local in locals_:
+        # Bulk construction leaves overlay-backed stores (CSR) with a
+        # tail of uncompacted arcs; fold them so fragments start from
+        # their steady-state layout. No-op for the dict store.
+        local.compact()
 
     fragments = [
         Fragment(

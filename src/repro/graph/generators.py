@@ -93,10 +93,11 @@ def random_weighted_digraph(
     m: int,
     seed: int | None = 0,
     max_weight: float = 10.0,
+    store: str | None = None,
 ) -> Graph:
     """n vertices, ~m distinct weighted arcs, uniformly random endpoints."""
     rng = make_rng(seed, "random_weighted", n, m)
-    g = Graph(directed=True)
+    g = Graph(directed=True, store=store)
     for v in range(n):
         g.add_vertex(v)
     added = 0
@@ -117,6 +118,7 @@ def road_network(
     seed: int | None = 0,
     diagonal_prob: float = 0.15,
     removal_prob: float = 0.05,
+    store: str | None = None,
 ) -> Graph:
     """A US-road-network stand-in: grid with sparse diagonals and holes.
 
@@ -126,7 +128,7 @@ def road_network(
     road networks that drives Table 1's vertex-centric blow-up.
     """
     rng = make_rng(seed, "road", rows, cols)
-    g = Graph(directed=True)
+    g = Graph(directed=True, store=store)
 
     def vid(r: int, c: int) -> int:
         return r * cols + c
@@ -161,6 +163,7 @@ def power_law(
     m_per_node: int = 4,
     seed: int | None = 0,
     directed: bool = True,
+    store: str | None = None,
 ) -> Graph:
     """Barabási–Albert preferential attachment (LiveJournal stand-in).
 
@@ -172,7 +175,7 @@ def power_law(
     if n <= m_per_node:
         raise ValueError("n must exceed m_per_node")
     rng = make_rng(seed, "power_law", n, m_per_node)
-    g = Graph(directed=directed)
+    g = Graph(directed=directed, store=store)
     targets = list(range(m_per_node))
     repeated: list[int] = []
     for v in range(m_per_node):
@@ -203,6 +206,7 @@ def labeled_social(
     seed: int | None = 0,
     follow_per_person: int = 6,
     interaction_prob: float = 0.35,
+    store: str | None = None,
 ) -> Graph:
     """A Weibo-style labeled social graph for Sim/SubIso/Keyword/GPAR.
 
@@ -212,7 +216,7 @@ def labeled_social(
     preferential so influencer patterns (Fig. 4's GPAR) have matches.
     """
     rng = make_rng(seed, "social", n_people, n_products)
-    g = Graph(directed=True)
+    g = Graph(directed=True, store=store)
     n_products = min(n_products, len(_PRODUCTS))
     products = []
     for i in range(n_products):
@@ -263,6 +267,7 @@ def community_graph(
     intra_degree: int = 8,
     inter_degree: int = 1,
     seed: int | None = 0,
+    store: str | None = None,
 ) -> Graph:
     """Community-structured social graph (the LiveJournal stand-in).
 
@@ -277,7 +282,7 @@ def community_graph(
     traversal reaches the whole graph.
     """
     rng = make_rng(seed, "community", n, num_communities)
-    g = Graph(directed=True)
+    g = Graph(directed=True, store=store)
     size = -(-n // num_communities)
     for v in range(n):
         g.add_vertex(v)
@@ -378,23 +383,24 @@ def bipartite_ratings(
     return g
 
 
-def graph_from_spec(spec: str) -> Graph:
+def graph_from_spec(spec: str, store: str | None = None) -> Graph:
     """Build a generator graph from a compact ``kind:params`` spec.
 
     The shared vocabulary of the CLI and workload traces:
     ``road:RxC`` (road network grid), ``power:N`` (power law),
-    ``social:N`` (labeled social graph).
+    ``social:N`` (labeled social graph). ``store`` selects the backing
+    storage ("dict"/"csr"); fragments built from the graph inherit it.
     """
     from repro.errors import GrapeError
 
     kind, _, arg = spec.partition(":")
     if kind == "road":
         rows, _, cols = arg.partition("x")
-        return road_network(int(rows), int(cols or rows))
+        return road_network(int(rows), int(cols or rows), store=store)
     if kind == "power":
-        return power_law(int(arg or 1000))
+        return power_law(int(arg or 1000), store=store)
     if kind == "social":
-        return labeled_social(int(arg or 500))
+        return labeled_social(int(arg or 500), store=store)
     raise GrapeError(
         f"unknown graph spec {spec!r}; use road:RxC, power:N or social:N"
     )

@@ -124,6 +124,7 @@ def to_json_dict(graph: Graph) -> dict:
     """Serializable dict capturing the full property graph."""
     return {
         "directed": graph.directed,
+        "store": graph.store_kind,
         "vertices": [
             {
                 "id": v,
@@ -144,9 +145,16 @@ def to_json_dict(graph: Graph) -> dict:
     }
 
 
-def from_json_dict(data: dict) -> Graph:
-    """Inverse of :func:`to_json_dict`."""
-    g = Graph(directed=data.get("directed", True))
+def from_json_dict(data: dict, store: str | None = None) -> Graph:
+    """Inverse of :func:`to_json_dict`.
+
+    ``store`` overrides the recorded storage backend; older encodings
+    without a "store" key load into the default dict store.
+    """
+    g = Graph(
+        directed=data.get("directed", True),
+        store=store if store is not None else data.get("store"),
+    )
     for rec in data["vertices"]:
         g.add_vertex(rec["id"], rec.get("label"), **rec.get("props", {}))
     for rec in data["edges"]:

@@ -77,8 +77,13 @@ def build_service(
     graph_spec: str | None = None,
     tracer=None,
     backend: str = "simulated",
+    store: str | None = None,
 ) -> GrapeService:
-    """Construct the service a trace describes (graph, partition, knobs)."""
+    """Construct the service a trace describes (graph, partition, knobs).
+
+    ``store`` overrides the fragment storage backend; the trace's own
+    optional ``"store"`` key applies otherwise.
+    """
     from repro.engineapi.session import Session
 
     spec = graph_spec or trace.get("graph")
@@ -86,13 +91,15 @@ def build_service(
         raise GrapeError(
             "workload trace names no graph; add a 'graph' spec or pass one"
         )
-    graph = graph_from_spec(spec)
+    store = store if store is not None else trace.get("store")
+    graph = graph_from_spec(spec, store=store)
     session = Session(
         graph,
         num_workers=int(trace.get("workers", 4)),
         partition=trace.get("partition", "hash"),
         tracer=tracer,
         backend=backend,
+        store=store,
     )
     knobs = trace.get("service", {})
     return GrapeService(
@@ -114,6 +121,7 @@ def replay_trace(
     tracer=None,
     mode: str = "batch",
     backend: str = "simulated",
+    store: str | None = None,
 ) -> tuple[GrapeService, ServiceReport]:
     """Replay a trace and return ``(service, final report)``.
 
@@ -128,11 +136,12 @@ def replay_trace(
     advances the service clock before submitting, which is what gives
     requests distinct arrival times for event mode to honor.
     ``backend`` (ignored when a pre-built ``service`` is passed) picks
-    the execution backend every dispatched engine run uses.
+    the execution backend every dispatched engine run uses; ``store``
+    likewise selects the fragment storage backend.
     """
     if service is None:
         service = build_service(
-            trace, graph_spec, tracer=tracer, backend=backend
+            trace, graph_spec, tracer=tracer, backend=backend, store=store
         )
     for standing in trace.get("standing", []):
         service.register_standing(

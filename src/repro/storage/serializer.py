@@ -20,11 +20,15 @@ def fragment_to_dict(fragment: Fragment) -> dict:
     }
 
 
-def fragment_from_dict(data: dict) -> Fragment:
-    """Inverse of :func:`fragment_to_dict`."""
+def fragment_from_dict(data: dict, store: str | None = None) -> Fragment:
+    """Inverse of :func:`fragment_to_dict`.
+
+    ``store`` overrides the storage backend recorded in the graph
+    encoding (e.g. load dict-era fragments straight into CSR).
+    """
     return Fragment(
         fid=data["fid"],
-        graph=from_json_dict(data["graph"]),
+        graph=from_json_dict(data["graph"], store=store),
         owned=set(data["owned"]),
         mirrors={v: fid for v, fid in data["mirrors"]},
         inner_border=set(data["inner_border"]),
@@ -44,10 +48,14 @@ def fragmented_to_dict(fragmented: FragmentedGraph) -> dict:
     }
 
 
-def fragmented_from_dict(data: dict) -> FragmentedGraph:
-    """Inverse of :func:`fragmented_to_dict`."""
+def fragmented_from_dict(
+    data: dict, store: str | None = None
+) -> FragmentedGraph:
+    """Inverse of :func:`fragmented_to_dict` (``store`` overrides)."""
     return FragmentedGraph(
-        fragments=[fragment_from_dict(f) for f in data["fragments"]],
+        fragments=[
+            fragment_from_dict(f, store=store) for f in data["fragments"]
+        ],
         assignment={v: f for v, f in data["assignment"]},
         strategy=data.get("strategy", "unknown"),
     )
@@ -60,8 +68,8 @@ def graph_to_bytes(graph: Graph) -> bytes:
     return json.dumps(to_json_dict(graph)).encode("utf-8")
 
 
-def graph_from_bytes(data: bytes) -> Graph:
-    """Inverse of :func:`graph_to_bytes`."""
+def graph_from_bytes(data: bytes, store: str | None = None) -> Graph:
+    """Inverse of :func:`graph_to_bytes` (``store`` overrides)."""
     import json
 
-    return from_json_dict(json.loads(data.decode("utf-8")))
+    return from_json_dict(json.loads(data.decode("utf-8")), store=store)

@@ -1,0 +1,31 @@
+"""Fixture: GRP504 — materializing a whole neighbor list in a hot path."""
+
+from repro.core.aggregators import MIN
+from repro.core.pie import ParamSpec, PIEProgram
+
+
+class NeighborCopyProgram(PIEProgram):
+    name = "fixture-grp504"
+
+    def param_spec(self, query):
+        return ParamSpec(aggregator=MIN, default=None)
+
+    def peval(self, fragment, query, params):
+        dist = {}
+        for v in fragment.border:
+            # Copies the adjacency row every superstep; iter_neighbors
+            # would stream it zero-copy off a CSR fragment.
+            dist[v] = len(list(fragment.graph.neighbors(v)))
+            params.improve(v, dist.get(v, 0))
+        return dist
+
+    def inceval(self, fragment, query, partial, params, changed):
+        for v in changed:
+            params.improve(v, partial.get(v, 0))
+        return partial
+
+    def assemble(self, query, partials):
+        out = {}
+        for partial in partials:
+            out.update(partial)
+        return out

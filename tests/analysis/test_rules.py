@@ -34,6 +34,7 @@ EXPECTED = {
     "viol_grp501.py": "GRP501",
     "viol_grp502.py": "GRP502",
     "viol_grp503.py": "GRP503",
+    "viol_grp504.py": "GRP504",
 }
 
 

@@ -112,3 +112,25 @@ def test_object_with_dict_counts_public_attrs():
             self._hidden = "xxxx"
 
     assert value_size(Thing()) == 8
+
+
+def test_typed_buffers_charged_exactly():
+    from array import array
+
+    # Numeric arrays cost 8 bytes per element — identical to shipping
+    # the same values as a Python list.
+    assert value_size(array("q", [1, 2, 3])) == value_size([1, 2, 3]) == 24
+    assert value_size(array("d", [0.5, 1.5])) == 16
+    assert value_size(array("H", range(10))) == 80
+    # Byte-typed arrays are raw buffers, charged like bytes.
+    assert value_size(array("B", b"abcd")) == value_size(b"abcd") == 4
+
+
+def test_memoryview_charged_like_backing_buffer():
+    from array import array
+
+    weights = array("d", [1.0, 2.0, 3.0])
+    assert value_size(memoryview(weights)) == value_size(weights) == 24
+    adj = array("q", range(5))
+    assert value_size(memoryview(adj)[1:4]) == 24
+    assert value_size(memoryview(b"abc")) == 3
