@@ -87,6 +87,10 @@ class CCProgram(PIEProgram[CCQuery, Partial, dict]):
 
     name = "cc"
 
+    #: MIN label propagation is decreasing-monotone, so CC is eligible
+    #: for barrier-relaxed supersteps (verified by grape-lint GRP6xx).
+    relaxed = True
+
     def __init__(self) -> None:
         self.work_log: list[tuple[str, int, int]] = []
         #: fid -> spanning forest of that fragment's local graph (see

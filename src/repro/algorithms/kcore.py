@@ -43,6 +43,10 @@ class KCoreProgram(PIEProgram[KCoreQuery, Partial, dict]):
 
     name = "kcore"
 
+    #: H-index estimates only shrink under MIN aggregation, so k-core
+    #: is eligible for barrier-relaxed supersteps (grape-lint GRP6xx).
+    relaxed = True
+
     def __init__(self) -> None:
         self.work_log: list[tuple[str, int, int]] = []
 
@@ -154,6 +158,64 @@ class KCoreProgram(PIEProgram[KCoreQuery, Partial, dict]):
             }
         return total_work
 
+    def deletion_region(
+        self, fragment: Fragment, partial: Partial, params: UpdateParams,
+        ops,
+    ) -> tuple[dict, set]:
+        """Degree-threshold triage of deletion endpoints.
+
+        Mirrors CC's spanning-forest triage: prove most deletions
+        harmless before seeding any recomputation. For each locally
+        owned endpoint ``v`` with estimate ``k``:
+
+        * ``degree < k`` — the estimate must drop at least to the
+          degree bound: cap it and dirty ``v`` plus its neighbors (the
+          drop can cascade).
+        * ``supporters < k`` — fewer than ``k`` remaining neighbors
+          hold an estimate ``>= k`` (externals default optimistic, as
+          in the H-index rounds), so the next round lowers ``v``:
+          dirty ``v`` alone; the settle loop spreads any cascade.
+        * otherwise — at least ``k`` neighbors still support level
+          ``k``, so the H-index of ``v`` is exactly ``k`` again:
+          provably unaffected, no seeds (a non-core deletion yields an
+          empty region and zero repair work).
+
+        Returns ``(caps, dirty)``: estimate caps to apply and the seed
+        set for the settle loop.
+        """
+        external = self._external(fragment, params)
+        caps: dict = {}
+        dirty: set = set()
+        for op in ops:
+            if op.kind != "delete":
+                continue
+            for v in (op.src, op.dst):
+                if v not in partial or not fragment.graph.has_vertex(v):
+                    continue
+                k = caps.get(v, partial[v])
+                degree = 0
+                supporters = 0
+                for p in fragment.graph.iter_neighbors(v):
+                    if p == v:
+                        continue
+                    degree += 1
+                    est = partial.get(p)
+                    if est is None:
+                        est = external.get(p, float("inf"))
+                    if est >= k:
+                        supporters += 1
+                if degree < k:
+                    caps[v] = degree
+                    dirty.add(v)
+                    dirty.update(
+                        p
+                        for p in fragment.graph.iter_neighbors(v)
+                        if p in partial
+                    )
+                elif supporters < k:
+                    dirty.add(v)
+        return caps, dirty
+
     def on_graph_update(
         self,
         fragment: Fragment,
@@ -164,29 +226,16 @@ class KCoreProgram(PIEProgram[KCoreQuery, Partial, dict]):
     ) -> Partial:
         """ΔG hook for the safe arm: deletions (reweights are no-ops).
 
-        Each deleted edge caps its locally-owned endpoints' estimates by
-        their new degree (a core number never exceeds the degree), then
-        the H-index iteration reconverges downward from the still-valid
-        upper bounds.
+        :meth:`deletion_region` triages each deleted edge's endpoints —
+        capping estimates that fell below the degree bound and seeding
+        only the vertices that can actually drop — then the H-index
+        iteration reconverges downward from the still-valid upper
+        bounds.
         """
-        dirty: set = set()
-        for op in delta:
-            if op.kind != "delete":
-                continue
-            for v in (op.src, op.dst):
-                if v not in partial or not fragment.graph.has_vertex(v):
-                    continue
-                degree = sum(
-                    1 for p in fragment.graph.iter_neighbors(v) if p != v
-                )
-                if partial[v] > degree:
-                    partial[v] = degree
-                dirty.add(v)
-                dirty.update(
-                    p
-                    for p in fragment.graph.iter_neighbors(v)
-                    if p in partial
-                )
+        caps, dirty = self.deletion_region(fragment, partial, params, delta)
+        for v, cap in caps.items():
+            if partial[v] > cap:
+                partial[v] = cap
         work = self._settle(fragment, partial, params, dirty)
         self.work_log.append(("update", fragment.fid, work))
         self._export(fragment, partial, params)

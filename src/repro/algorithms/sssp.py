@@ -41,6 +41,10 @@ class SSSPProgram(PIEProgram[SSSPQuery, Partial, dict]):
 
     name = "sssp"
 
+    #: MIN aggregation is decreasing-monotone, so SSSP is eligible for
+    #: barrier-relaxed supersteps (verified by grape-lint GRP6xx).
+    relaxed = True
+
     def __init__(self) -> None:
         #: (phase, fragment id, settled-vertex count) per call — the raw
         #: data behind the bounded-IncEval experiment (E5).

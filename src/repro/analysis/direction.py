@@ -1,0 +1,60 @@
+"""Aggregator-direction resolution for *live* PIE program objects.
+
+The engine's ``mode="relaxed"`` gate reuses grape-lint's static
+direction inference (:mod:`repro.analysis.inspector`) instead of
+trusting any runtime flag: the Assurance Theorem licenses stale reads
+only for programs whose aggregator moves values monotonically along a
+partial order, and the inspector already knows the direction of every
+builtin and custom aggregator declaration. Inspection is AST-only — the
+program's module is parsed, never re-imported.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.inspector import inspect_object
+from repro.errors import AnalysisError
+
+#: Directions under which stale reads re-converge to the same fixpoint
+#: (the Assurance Theorem's monotonicity precondition). ``unordered``
+#: and ``unknown`` are excluded on purpose: both break the relaxed
+#: engine's correctness argument.
+MONOTONE_DIRECTIONS = frozenset(
+    {"decreasing", "increasing", "growing", "shrinking"}
+)
+
+#: type -> (aggregator name, direction); inspection parses the whole
+#: defining module, so one lookup per program class is plenty.
+_CACHE: dict[type, tuple[str, str]] = {}
+
+
+def program_direction(program: object) -> tuple[str, str]:
+    """(aggregator name, inferred direction) for a PIE program object.
+
+    Falls back to ``("<unresolved>", "unknown")`` when the defining
+    source cannot be retrieved and ``("<undeclared>", "unknown")`` when
+    the inspector finds no aggregator declaration — both are rejected
+    by the relaxed-mode gate, which is the safe default.
+    """
+    cls = type(program)
+    if cls in _CACHE:
+        return _CACHE[cls]
+    try:
+        module = inspect_object(cls)
+    except AnalysisError:
+        result = ("<unresolved>", "unknown")
+        _CACHE[cls] = result
+        return result
+    info = next(
+        (p for p in module.programs if p.name == cls.__name__), None
+    )
+    if info is None or info.aggregator is None:
+        result = ("<undeclared>", "unknown")
+    else:
+        result = (info.aggregator.name, info.aggregator.direction)
+    _CACHE[cls] = result
+    return result
+
+
+def is_monotone(direction: str) -> bool:
+    """True when ``direction`` satisfies the Assurance precondition."""
+    return direction in MONOTONE_DIRECTIONS

@@ -1,0 +1,90 @@
+"""GRP601/GRP602 — relaxed-mode eligibility of a PIE program.
+
+A program opts into barrier-relaxed supersteps by setting the
+class-level marker ``relaxed = True`` (see
+:class:`repro.core.pie.PIEProgram`). The opt-in is only sound when the
+declared aggregator moves values monotonically along its partial order
+— the Assurance Theorem's precondition for correctness under stale
+reads. This family statically verifies the marker against grape-lint's
+aggregator direction inference, mirroring the engine's bind-time gate
+(``GrapeEngine(mode="relaxed")`` raises with the same codes):
+
+* **GRP601** — ``relaxed = True`` with an ``unordered`` aggregator
+  direction (SUM_ONCE / LAST_WRITE-style): stale reads would double
+  count or lose writes.
+* **GRP602** — ``relaxed = True`` but the direction cannot be inferred
+  (no aggregator declaration, or a custom construction the inspector
+  cannot resolve): unverifiable, rejected by default.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.direction import MONOTONE_DIRECTIONS
+from repro.analysis.findings import Finding, make_finding
+from repro.analysis.inspector import ModuleInfo, ProgramInfo
+
+
+def _relaxed_marker(program: ProgramInfo) -> ast.AST | None:
+    """The class-body ``relaxed = True`` assignment node, if any."""
+    for node in program.node.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "relaxed":
+                if (
+                    isinstance(value, ast.Constant)
+                    and value.value is True
+                ):
+                    return node
+    return None
+
+
+def check(program: ProgramInfo, module: ModuleInfo) -> Iterator[Finding]:
+    marker = _relaxed_marker(program)
+    if marker is None:
+        return
+    decl = program.aggregator
+    if decl is None:
+        yield make_finding(
+            "GRP602",
+            "program sets relaxed = True but declares no aggregator "
+            "grape-lint can see — the monotonicity gate cannot verify it",
+            path=program.path,
+            node=marker,
+            program=program.name,
+            method="param_spec",
+        )
+        return
+    if decl.direction in MONOTONE_DIRECTIONS:
+        return
+    if decl.direction == "unordered":
+        yield make_finding(
+            "GRP601",
+            f"program sets relaxed = True but aggregator {decl.name!r} "
+            "is unordered — stale reads under a non-monotone aggregate "
+            "would double count or lose writes",
+            path=program.path,
+            node=marker,
+            program=program.name,
+            method="param_spec",
+        )
+    else:
+        yield make_finding(
+            "GRP602",
+            f"program sets relaxed = True but aggregator {decl.name!r} "
+            f"has {decl.direction!r} direction — the monotonicity gate "
+            "cannot verify it",
+            path=program.path,
+            node=marker,
+            program=program.name,
+            method="param_spec",
+        )

@@ -65,8 +65,14 @@ from repro.runtime.cluster import Cluster
 from repro.runtime.costmodel import CostModel
 from repro.runtime.message import COORDINATOR
 from repro.runtime.metrics import RunMetrics
+from repro.runtime.mpi_sim import QuiescenceDetector
 
 VertexId = Hashable
+
+#: Superstep engine modes: ``"strict"`` is the BSP lockstep of the
+#: paper; ``"relaxed"`` pipelines IncEval waves over per-channel FIFOs
+#: (aggregator-monotone programs only; byte-identical answers).
+MODES = ("strict", "relaxed")
 
 
 @dataclass
@@ -116,6 +122,15 @@ class GrapeEngine:
             requires the simulated backend.
         max_supersteps: fixed-point cap for non-monotonic programs.
         routing: ``"coordinator"`` (paper default) or ``"direct"``.
+        mode: ``"strict"`` (BSP lockstep, default) or ``"relaxed"`` —
+            IncEval waves pipeline over per-channel FIFOs and terminate
+            via a double-counting quiescence check instead of the
+            barrier vote. Relaxed mode is restricted at bind time to
+            aggregator-monotone programs (grape-lint direction
+            inference; the Assurance Theorem's precondition) and
+            reproduces the strict ``routing="direct"`` dataflow
+            exactly, so answers, repair stats and checkpoints stay
+            byte-identical; only virtual-time scheduling differs.
         supervision: retry/backoff/recovery knobs (defaults to
             :class:`~repro.core.supervisor.SupervisionPolicy`).
         repair_fraction: cold-start fallback of the adaptive repair
@@ -147,9 +162,22 @@ class GrapeEngine:
         tracer=None,
         repair_policy: AdaptiveRepairPolicy | None = None,
         backend: ExecutionBackend | None = None,
+        mode: str = "strict",
     ) -> None:
         if routing not in ("coordinator", "direct"):
             raise ProgramError(f"unknown routing mode {routing!r}")
+        if mode not in MODES:
+            raise ProgramError(
+                f"unknown superstep mode {mode!r}; choose from "
+                + ", ".join(MODES)
+            )
+        if mode == "relaxed" and check_monotonic:
+            raise ProgramError(
+                "check_monotonic is strict-BSP-simulator-only: per-write "
+                "order observers assume barrier-aligned rounds; relaxed "
+                "mode is gated statically at bind time instead "
+                "(grape-lint direction inference, GRP601/GRP602)"
+            )
         if not 0.0 <= repair_fraction <= 1.0:
             raise ProgramError(
                 f"repair_fraction must be in [0, 1], got {repair_fraction!r}"
@@ -168,6 +196,7 @@ class GrapeEngine:
             )
         self.fragmented = fragmented
         self.cost_model = cost_model or CostModel()
+        self.mode = mode
         self.check_monotonic = check_monotonic
         self.strict_monotonic = strict_monotonic
         self.max_supersteps = max_supersteps
@@ -181,6 +210,9 @@ class GrapeEngine:
         #: Optional :class:`~repro.obs.Tracer` — a pure observer; never
         #: feeds back into the computation (see tests/property purity).
         self.tracer = tracer
+        #: Relaxed-mode channel entries emitted inside strict phases,
+        #: awaiting a ``send_clock`` stamp at the phase's barrier.
+        self._unstamped: list = []
 
     # ------------------------------------------------------------------
     def run(
@@ -203,6 +235,7 @@ class GrapeEngine:
         :class:`~repro.runtime.faults.FaultPlan` in ``faults`` the run
         executes under that plan's deterministic fault schedule.
         """
+        self._require_relaxable(program)
         cluster = self._make_cluster(f"grape[{program.name}]", faults)
         supervisor = Supervisor(
             self.supervision, cluster.metrics.faults, tracer=self.tracer
@@ -233,6 +266,7 @@ class GrapeEngine:
                     self._emit(step, wid, changes) if changes else None
                 ),
             )
+        self._stamp_pending(cluster)
 
         # ---------------- IncEval rounds ----------------
         self._fixpoint(
@@ -328,6 +362,7 @@ class GrapeEngine:
         aggregator raises :class:`~repro.errors.StaleStateError` up
         front instead of failing deep inside the fixpoint.
         """
+        self._require_relaxable(program)
         self._check_state(program, query, state)
         cluster = self._make_cluster(f"grape-inc[{program.name}]", faults)
         supervisor = Supervisor(
@@ -407,6 +442,7 @@ class GrapeEngine:
                             self._emit(step, wid, changes) if changes else None
                         ),
                     )
+                self._stamp_pending(cluster)
             if safe:
                 with cluster.superstep("update") as step:
                     self.backend.execute(
@@ -420,6 +456,7 @@ class GrapeEngine:
                             self._emit(step, wid, changes) if changes else None
                         ),
                     )
+                self._stamp_pending(cluster)
 
         self._fixpoint(
             cluster, program, query, guard, rounds, checkpoint, supervisor,
@@ -555,6 +592,7 @@ class GrapeEngine:
                     self._emit(step, wid, changes) if changes else None
                 ),
             )
+        self._stamp_pending(cluster)
 
     # ------------------------------------------------------------------
     def resume_from_checkpoint(
@@ -578,6 +616,7 @@ class GrapeEngine:
         (numbered from the reloaded round), so a second crash while
         recovering costs bounded work too.
         """
+        self._require_relaxable(program)
         ckpt_round, state = checkpoint.load_latest()
         cluster = self._make_cluster(f"grape-recover[{program.name}]", faults)
         supervisor = Supervisor(
@@ -659,6 +698,33 @@ class GrapeEngine:
                     f"program's declared {spec.aggregator.name!r}"
                 )
 
+    def _require_relaxable(self, program: PIEProgram) -> None:
+        """Bind-time gate for ``mode="relaxed"`` (no-op when strict).
+
+        Uses grape-lint's aggregator direction inference: only programs
+        whose declared aggregator moves values monotonically along its
+        partial order satisfy the Assurance Theorem under stale reads.
+        Raises :class:`~repro.errors.AnalysisError` citing GRP601
+        (non-monotone) or GRP602 (direction unknown), naming the
+        offending aggregator.
+        """
+        if self.mode != "relaxed":
+            return
+        from repro.analysis.direction import is_monotone, program_direction
+        from repro.errors import AnalysisError
+
+        name, direction = program_direction(program)
+        if is_monotone(direction):
+            return
+        code = "GRP602" if direction == "unknown" else "GRP601"
+        raise AnalysisError(
+            f"{code}: mode='relaxed' requires an aggregator-monotone "
+            f"program, but {type(program).__name__} declares aggregator "
+            f"{name!r} with {direction!r} direction — barrier-relaxed "
+            "supersteps rely on the Assurance Theorem's monotonicity "
+            "precondition; run this program with mode='strict'"
+        )
+
     def _make_cluster(self, engine_name: str, faults) -> Cluster:
         """A cluster for one run, with the fault plan's injector if any."""
         if faults is not None and not self.backend.supports_faults:
@@ -667,7 +733,14 @@ class GrapeEngine:
                 f"{self.backend.name!r} backend runs real worker "
                 "processes the injector cannot interpose on"
             )
+        if faults is not None and self.mode == "relaxed":
+            raise ProgramError(
+                "fault injection is strict-BSP-simulator-only: recovery "
+                "replays barrier-aligned rounds the relaxed pipeline "
+                "does not have; run the fault plan with mode='strict'"
+            )
         injector = faults.injector() if faults is not None else None
+        self._unstamped.clear()
         if self.tracer is not None:
             self.tracer.run_begin(engine_name, self.fragmented.num_fragments)
         return Cluster(
@@ -677,6 +750,7 @@ class GrapeEngine:
             injector=injector,
             tracer=self.tracer,
             measure_wall=self.backend.measures_wall,
+            mode=self.mode,
         )
 
     def _phase_seconds(self, cluster: Cluster, *phases: str) -> float:
@@ -728,6 +802,12 @@ class GrapeEngine:
         recovery appear again, which is the honest account of what the
         cluster computed.
         """
+        if self.mode == "relaxed":
+            self._fixpoint_relaxed(
+                cluster, program, query, guard, rounds, checkpoint,
+                supervisor,
+            )
+            return
         n = cluster.num_workers
         while True:
             if not self._pending(cluster) and not any(
@@ -746,6 +826,131 @@ class GrapeEngine:
                     cluster, failure, checkpoint, guard, supervisor, checker
                 )
                 continue
+            guard.record_round(shipped)
+            rounds.append(
+                RoundInfo(
+                    round_index=guard.rounds,
+                    params_shipped=shipped,
+                    params_applied=applied,
+                    active_workers=active,
+                )
+            )
+            if checkpoint is not None and guard.rounds % checkpoint.every == 0:
+                partials, params = self.backend.pull_state()
+                checkpoint.save(
+                    guard.rounds,
+                    EngineState(
+                        partials=partials,
+                        params=params,
+                        program_name=program.name,
+                        num_fragments=n,
+                    ),
+                )
+
+    def _fixpoint_relaxed(
+        self,
+        cluster: Cluster,
+        program: PIEProgram[Q, P, R],
+        query: Q,
+        guard: FixpointGuard,
+        rounds: list[RoundInfo],
+        checkpoint,
+        supervisor: Supervisor,
+    ) -> None:
+        """Pipelined IncEval waves over per-channel FIFOs (relaxed mode).
+
+        A *wave* runs every worker that has undrained channels or local
+        work: each drains its inbound FIFOs (sorted by source rank —
+        exactly the strict ``routing="direct"`` inbox order, so the
+        payload lists handed to ``op_inceval`` are byte-identical),
+        computes, and buffers outbound batches with its *own* clock as
+        the send time. No barrier: a worker's clock advances by its
+        drain waits plus its own compute plus ``drain_overhead``, so
+        fast workers start wave ``t+1`` while stragglers still finish
+        wave ``t`` on the virtual timeline. Termination is the
+        double-counting quiescence check over the transport's in-flight
+        counters — two consecutive clean probes, no barrier vote.
+        """
+        n = cluster.num_workers
+        channels = cluster.channels
+        clocks = cluster.clocks
+        cost = self.cost_model
+        detector = QuiescenceDetector()
+        while True:
+            runnable = [
+                wid
+                for wid in range(n)
+                if channels.has_pending(wid) or self.backend.is_active(wid)
+            ]
+            if not runnable:
+                sent, delivered = channels.in_flight()
+                if detector.probe(sent, delivered, active=False):
+                    break
+                continue
+            detector.reset()
+            with cluster.superstep("inceval", relaxed=True) as step:
+                starts: dict[int, float] = {}
+                calls = []
+                was_active: dict[int, bool] = {}
+                # Drain every runnable worker *before* any computes, so
+                # batches sent within this wave stay invisible until the
+                # next one (the strict round structure is preserved).
+                for wid in runnable:
+                    batches = channels.drain(wid)
+                    locally_active = self.backend.is_active(wid)
+                    was_active[wid] = locally_active
+                    start = clocks.clocks[wid]
+                    for entry in batches:
+                        if self.tracer is not None:
+                            self.tracer.drain(wid, entry.src, 1, entry.size)
+                        arrival = (entry.send_clock or 0.0) + (
+                            cost.network_time(entry.size, 1)
+                        )
+                        if arrival > start:
+                            start = arrival
+                    starts[wid] = start
+                    calls.append(
+                        WorkerCall(
+                            wid,
+                            "inceval",
+                            {
+                                "payloads": [e.payload for e in batches],
+                                "locally_active": locally_active,
+                            },
+                        )
+                    )
+                shipped = 0
+                applied = 0
+                active = 0
+                outbound: dict[int, list] = {}
+
+                def _shipped(wid: int, result) -> None:
+                    nonlocal shipped, applied, active
+                    changed, changes = result
+                    applied += len(changed)
+                    if changed or was_active[wid]:
+                        active += 1
+                    if changes:
+                        shipped += len(changes)
+                        outbound[wid] = self._emit_channels(
+                            step, wid, changes
+                        )
+
+                self.backend.execute(
+                    step, supervisor, calls, on_result=_shipped
+                )
+                # Second pass: advance each worker's clock past its
+                # metered compute and stamp its outbound batches —
+                # waves are sequential, so every stamp lands before the
+                # next wave's drains read it.
+                for wid in runnable:
+                    clocks.clocks[wid] = (
+                        starts[wid]
+                        + cost.compute_scale * step.compute_seconds(wid)
+                        + cost.drain_overhead
+                    )
+                    for entry in outbound.get(wid, ()):
+                        entry.send_clock = clocks.clocks[wid]
             guard.record_round(shipped)
             rounds.append(
                 RoundInfo(
@@ -836,6 +1041,7 @@ class GrapeEngine:
                     self._emit(step, wid, changes) if changes else None
                 ),
             )
+        self._stamp_pending(cluster)
 
     def _assemble(
         self,
@@ -851,8 +1057,56 @@ class GrapeEngine:
                 step, COORDINATOR, lambda: program.assemble(query, partials)
             )
 
+    def _emit_channels(
+        self, step, wid: int, changes: dict[VertexId, object]
+    ) -> list:
+        """Relaxed emission: split changes onto the per-channel FIFOs.
+
+        The destination split is byte-identical to strict
+        ``routing="direct"`` minus the coordinator's ``__active__``
+        control message (termination is the quiescence check instead);
+        receivers drain channels sorted by source rank, reproducing the
+        strict-direct inbox order exactly. Returns the channel entries
+        so the caller can stamp their ``send_clock``.
+        """
+        by_dst: dict[int, dict[VertexId, object]] = {}
+        for v, value in changes.items():
+            for fid in self.fragmented.hosts(v):
+                if fid != wid:
+                    by_dst.setdefault(fid, {})[v] = value
+        return [
+            step.send_channel(wid, fid, batch)
+            for fid, batch in by_dst.items()
+        ]
+
+    def _stamp_pending(self, cluster: Cluster) -> None:
+        """Stamp strict-phase channel entries at the phase's barrier.
+
+        A strict superstep's ``superstep_time`` already priced the
+        delivery of everything it shipped, so these entries are
+        *available* at the barrier frontier: back-date each send_clock
+        by its own transfer time so the first wave's arrival lands
+        exactly on the frontier instead of charging the network twice.
+        """
+        if cluster.clocks is None or not self._unstamped:
+            return
+        frontier = cluster.clocks.frontier()
+        cost = cluster.cost_model
+        for entry in self._unstamped:
+            if entry.send_clock is None:
+                entry.send_clock = max(
+                    frontier - cost.network_time(entry.size, 1), 0.0
+                )
+        self._unstamped.clear()
+
     def _emit(self, step, wid: int, changes: dict[VertexId, object]) -> None:
         """Send changed parameters toward their consumers."""
+        if self.mode == "relaxed":
+            # A strict phase inside a relaxed run (peval / repair /
+            # update / recover): buffer on the channels; send_clock is
+            # stamped once the phase's barrier fixes the frontier.
+            self._unstamped.extend(self._emit_channels(step, wid, changes))
+            return
         if self.routing == "coordinator":
             step.send(wid, COORDINATOR, changes)
             return

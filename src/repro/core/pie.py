@@ -54,6 +54,13 @@ class PIEProgram(abc.ABC, Generic[Q, P, R]):
     #: Registry name of the query class (e.g. ``"sssp"``).
     name: str = "abstract"
 
+    #: Declarative opt-in to barrier-relaxed supersteps
+    #: (``mode="relaxed"``). Setting ``relaxed = True`` documents that
+    #: the program's aggregator is monotone and makes grape-lint verify
+    #: the claim statically (GRP601/GRP602); the engine independently
+    #: re-verifies every program at bind time regardless of the flag.
+    relaxed: bool = False
+
     @abc.abstractmethod
     def param_spec(self, query: Q) -> ParamSpec:
         """Declare the update parameters' aggregator and default value."""

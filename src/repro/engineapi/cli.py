@@ -19,6 +19,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.core.engine import MODES
 from repro.engineapi.query import build_query, query_classes
 from repro.engineapi.registry import available_programs, get_program
 from repro.engineapi.report import format_report
@@ -53,6 +54,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         check_monotonic=args.check_monotonic,
         tracer=tracer,
         backend=args.backend,
+        mode=getattr(args, "mode", "strict"),
     )
     kwargs: dict[str, object] = {}
     if args.source is not None:
@@ -491,6 +493,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--store", choices=list(STORES), default=None,
         help="fragment storage backend: dict (adjacency dicts, the default) or csr (compact array rows with a delta-aware overlay; byte-identical answers)",
+    )
+    run.add_argument(
+        "--mode", choices=list(MODES), default="strict",
+        help="superstep engine: strict (BSP lockstep, the default) or "
+             "relaxed (pipelined waves over per-channel FIFOs for "
+             "aggregator-monotone programs; byte-identical answers, "
+             "lower virtual makespan)",
     )
     run.add_argument(
         "--updates", default=None, metavar="FILE.json",

@@ -47,6 +47,10 @@ class Session:
             workers persist across queries.
         store: fragment storage backend name ("dict"/"csr"); by default
             fragments inherit the graph's own store.
+        mode: superstep engine mode — ``"strict"`` (BSP lockstep, the
+            default) or ``"relaxed"`` (pipelined waves over per-channel
+            FIFOs for aggregator-monotone programs; byte-identical
+            answers, lower virtual makespan).
     """
 
     def __init__(
@@ -61,6 +65,7 @@ class Session:
         tracer=None,
         backend: str | ExecutionBackend = "simulated",
         store: str | None = None,
+        mode: str = "strict",
     ) -> None:
         self.graph = graph
         self.store = store
@@ -68,6 +73,7 @@ class Session:
         self.cost_model = cost_model or CostModel()
         self.check_monotonic = check_monotonic
         self.routing = routing
+        self.mode = mode
         self.validate = validate
         #: Optional :class:`~repro.obs.Tracer` every engine this session
         #: builds records into (pure observer; see repro.obs).
@@ -171,6 +177,7 @@ class Session:
                 self.backend_name,
                 self.fragmented,
                 deterministic=self.cost_model.deterministic,
+                mode=self.mode,
             )
         return self._backend
 
@@ -195,6 +202,7 @@ class Session:
             routing=self.routing,
             tracer=self.tracer,
             backend=self.backend,
+            mode=self.mode,
         )
 
     def run(

@@ -170,6 +170,9 @@ def _emit_run(emitter: _Emitter, run: RunTimeline) -> None:
             # Only wall-measuring backends emit this; deterministic
             # golden traces stay byte-stable without it.
             step_args["wall_ms"] = step.wall_ms
+        if step.relaxed:
+            # Same byte-stability rule: strict traces never carry it.
+            step_args["relaxed"] = True
         emitter.span(
             pid,
             TID_STEPS,

@@ -18,6 +18,8 @@ Two entry points feed the same renderer:
 from __future__ import annotations
 
 from repro.obs.timeline import (
+    DRAIN_COST,
+    SYNC_COST,
     RunTimeline,
     StepTimeline,
     WorkerSpan,
@@ -34,6 +36,88 @@ def _us(seconds: float) -> float:
 
 def _rank_label(rank: int) -> str:
     return "coord" if rank < 0 else f"w{rank}"
+
+
+def _is_relaxed(step: StepTimeline) -> bool:
+    """Whether a step ran as a barrier-relaxed wave.
+
+    The flag survives chrome round-trips, but older traces only carry
+    the drain spans — either signal counts.
+    """
+    return step.relaxed or any(s.cat == "drain" for s in step.spans)
+
+
+def _drain_wait(step: StepTimeline) -> float:
+    """Total seconds the step's lanes idled waiting on FIFO arrivals."""
+    total = 0.0
+    for span in step.spans:
+        if span.cat != "drain":
+            continue
+        wait = span.args.get("wait")
+        if wait is None:
+            wait = max(span.duration - DRAIN_COST, 0.0)
+        total += float(wait)
+    return total
+
+
+def _strict_equiv(step: StepTimeline) -> float:
+    """What the wave would cost under a strict-BSP barrier.
+
+    Slowest non-drain lane (compute + its own ship), plus the barrier's
+    delivery of the step's whole traffic, plus SYNC_COST — the same
+    formula strict steps are placed with.
+    """
+    lanes: dict[int, float] = {}
+    for span in step.spans:
+        if span.cat == "drain":
+            continue
+        lanes[span.worker] = lanes.get(span.worker, 0.0) + span.duration
+    lane_max = max(lanes.values(), default=0.0)
+    return lane_max + ship_cost(step.messages, step.bytes) + SYNC_COST
+
+
+def _relaxed_summary(run: RunTimeline) -> list[str]:
+    """Reclaimed-slack lines for runs containing relaxed waves.
+
+    Consecutive relaxed steps form a pipelined block; its actual extent
+    (max lane end - block start) is compared against the sum of
+    per-step strict-BSP equivalents to quantify the barrier slack the
+    pipeline reclaimed.
+    """
+    waves = [step for step in run.steps if _is_relaxed(step)]
+    if not waves:
+        return []
+    actual = 0.0
+    equiv = 0.0
+    block: list[StepTimeline] = []
+
+    def flush() -> float:
+        if not block:
+            return 0.0
+        start = min(step.start for step in block)
+        end = max(step.end for step in block)
+        del block[:]
+        return end - start
+
+    for step in run.steps:
+        if _is_relaxed(step):
+            block.append(step)
+            equiv += _strict_equiv(step)
+        else:
+            actual += flush()
+    actual += flush()
+    reclaimed = equiv - actual
+    pct = 100.0 * reclaimed / equiv if equiv > 0 else 0.0
+    wait = sum(_drain_wait(step) for step in waves)
+    return [
+        "",
+        (
+            f"relaxed waves: {len(waves)} steps, actual "
+            f"{_us(actual):.1f}us vs strict-equivalent {_us(equiv):.1f}us "
+            f"— reclaimed {_us(reclaimed):.1f}us ({pct:.1f}%)"
+        ),
+        f"  drain waits: {_us(wait):.1f}us total across waves",
+    ]
 
 
 def _step_rows(run: RunTimeline) -> list[str]:
@@ -56,6 +140,8 @@ def _step_rows(run: RunTimeline) -> list[str]:
         extra = ""
         if step.retries:
             extra += f"  retries={step.retries}"
+        if _is_relaxed(step):
+            extra += f"  [wave wait={_us(_drain_wait(step)):.1f}us]"
         rows.append(
             f"{step.index:>4}  {step.phase:<10} {len(totals):>5} "
             f"{_us(step.lane_max):>12.1f} {_us(mean):>9.1f} "
@@ -92,6 +178,7 @@ def _run_section(run: RunTimeline) -> list[str]:
     lines = [title, "=" * len(title)]
     lines += _step_rows(run)
     lines += _worker_bars(run)
+    lines += _relaxed_summary(run)
     for rec in run.recoveries:
         lines.append(
             f"  recovery: worker {rec['worker']} lost at superstep "
@@ -189,7 +276,7 @@ def runs_from_chrome(data: dict) -> list[RunTimeline]:
                 lane_max=0.0,
                 network=(
                     0.0
-                    if args.get("aborted")
+                    if args.get("aborted") or args.get("relaxed")
                     else ship_cost(
                         args.get("messages", 0), args.get("bytes", 0)
                     )
@@ -200,6 +287,7 @@ def runs_from_chrome(data: dict) -> list[RunTimeline]:
                 faults=args.get("faults", 0),
                 retries=args.get("retries", 0),
                 aborted=bool(args.get("aborted", False)),
+                relaxed=bool(args.get("relaxed", False)),
             )
             run.steps.append(step)
         steps_by_index = {step.index: step for step in run.steps}

@@ -19,6 +19,13 @@ Layout of one superstep starting at virtual time ``t0``:
   ``messages * MSG_COST + bytes * BYTE_COST``;
 * ``SYNC_COST`` closes the superstep.
 
+Barrier-relaxed waves (``mode="relaxed"``) are placed differently: each
+worker's lane resumes at its *own* previous frontier rather than a
+shared barrier, opening with ``drain`` spans (FIFO pop + any wait for
+the sender's ship to land) and closing without SYNC_COST — so fast
+workers visibly overlap slow ones and the skew report can price the
+reclaimed slack.
+
 The builder consumes a :class:`~repro.obs.tracer.Tracer`'s raw events
 and produces :class:`RunTimeline` objects; the Chrome exporter and the
 skew report are both views over this one structure.
@@ -36,6 +43,11 @@ MSG_COST = 2e-6
 BYTE_COST = 5e-9
 #: Virtual seconds charged for entering one compute attempt.
 COMPUTE_COST = 1e-4
+#: Virtual seconds to pop one channel's FIFO in a relaxed wave — the
+#: per-wave handoff replacing the barrier's SYNC_COST (kept strictly
+#: below it so relaxed placement mirrors the cost model's dominance
+#: argument: drain_overhead <= barrier_overhead).
+DRAIN_COST = 1e-4
 
 
 def ship_cost(messages: int, nbytes: int) -> float:
@@ -48,8 +60,8 @@ class WorkerSpan:
     """One span on a worker's lane (absolute virtual times, seconds)."""
 
     worker: int  # rank; -1 is the coordinator
-    name: str  # superstep phase, "backoff", or "ship"
-    cat: str  # "compute" | "chaos" | "transport"
+    name: str  # superstep phase, "backoff", "ship", or "drain"
+    cat: str  # "compute" | "chaos" | "transport" | "drain"
     start: float
     duration: float
     args: dict = field(default_factory=dict)
@@ -75,6 +87,10 @@ class StepTimeline:
     faults: int = 0
     retries: int = 0
     aborted: bool = False
+    #: whether this superstep ran as a barrier-relaxed wave: lanes are
+    #: placed at each worker's own pipeline frontier (they may overlap
+    #: neighbouring steps) and no SYNC_COST closes the step.
+    relaxed: bool = False
     #: real wall-clock duration in ms, present only for runs executed
     #: on a wall-measuring backend (process); the virtual timeline
     #: placement never uses it.
@@ -118,16 +134,25 @@ class RunTimeline:
 class _StepBuilder:
     """Accumulates one superstep's raw events before placement."""
 
-    def __init__(self, index: int, phase: str) -> None:
+    def __init__(self, index: int, phase: str, relaxed: bool = False) -> None:
         self.index = index
         self.phase = phase
+        self.relaxed = relaxed
         #: rank -> [(name, cat, duration, args), ...] in lane order.
         self.items: dict[int, list[tuple]] = {}
+        #: rank -> [(src, messages, bytes), ...] FIFO batches drained
+        #: at the head of a relaxed wave, in drain order.
+        self.drains: dict[int, list[tuple]] = {}
 
     def add(
         self, rank: int, name: str, cat: str, duration: float, args: dict
     ) -> None:
         self.items.setdefault(rank, []).append((name, cat, duration, args))
+
+    def add_drain(
+        self, rank: int, src: int, messages: int, nbytes: int
+    ) -> None:
+        self.drains.setdefault(rank, []).append((src, messages, nbytes))
 
     def finish(
         self,
@@ -140,8 +165,20 @@ class _StepBuilder:
         retries: int = 0,
         aborted: bool = False,
         wall_ms: float | None = None,
+        lane_end: dict | None = None,
+        ship_end: dict | None = None,
     ) -> StepTimeline:
-        """Place every lane at ``start`` and compute the step duration."""
+        """Place every lane and compute the step duration.
+
+        Strict (BSP) steps place all lanes at ``start`` and close with
+        the barrier's delivery + SYNC_COST. Relaxed waves instead
+        resume each rank's lane at its own pipeline frontier
+        (``lane_end``, carried across waves by the caller): the lane
+        opens with one ``drain`` span per popped FIFO batch — waiting,
+        if needed, for the sender's ship to land (``ship_end``) — then
+        runs compute and ship as usual. No barrier closes the step, so
+        fast workers overlap slow ones across waves.
+        """
         for rank, counts in sorted((sends or {}).items()):
             msgs, nbytes = int(counts[0]), int(counts[1])
             self.add(
@@ -151,11 +188,39 @@ class _StepBuilder:
                 ship_cost(msgs, nbytes),
                 {"messages": msgs, "bytes": nbytes},
             )
+        lane_end = lane_end if lane_end is not None else {}
+        ship_end = ship_end if ship_end is not None else {}
         spans: list[WorkerSpan] = []
         totals: dict[int, float] = {}
-        for rank in sorted(self.items):
-            cursor = start
-            for name, cat, duration, args in self.items[rank]:
+        ends: dict[int, float] = {}
+        starts: list[float] = []
+        for rank in sorted(set(self.items) | set(self.drains)):
+            cursor = lane_end.get(rank, start) if self.relaxed else start
+            lane_start = cursor
+            starts.append(lane_start)
+            for src, msgs, nbytes in self.drains.get(rank, []):
+                arrival = ship_end.get(src, start) + ship_cost(msgs, nbytes)
+                wait = max(arrival - cursor, 0.0)
+                spans.append(
+                    WorkerSpan(
+                        worker=rank,
+                        name="drain",
+                        cat="drain",
+                        start=cursor,
+                        duration=wait + DRAIN_COST,
+                        args={
+                            "worker": rank,
+                            "step": self.index,
+                            "phase": self.phase,
+                            "src": src,
+                            "messages": msgs,
+                            "bytes": nbytes,
+                            "wait": wait,
+                        },
+                    )
+                )
+                cursor += wait + DRAIN_COST
+            for name, cat, duration, args in self.items.get(rank, []):
                 spans.append(
                     WorkerSpan(
                         worker=rank,
@@ -172,14 +237,27 @@ class _StepBuilder:
                     )
                 )
                 cursor += duration
-            totals[rank] = cursor - start
+            totals[rank] = cursor - lane_start
+            ends[rank] = cursor
         lane_max = max(totals.values(), default=0.0)
-        network = 0.0 if aborted else ship_cost(messages, bytes_sent)
+        if self.relaxed:
+            # Waves have no barrier: transport cost lives in the drain
+            # spans, the pipeline frontier carries to the next wave.
+            for rank, end in ends.items():
+                lane_end[rank] = end
+                ship_end[rank] = end
+            step_start = min(starts, default=start)
+            duration = max(ends.values(), default=start) - step_start
+            network = 0.0
+        else:
+            step_start = start
+            network = 0.0 if aborted else ship_cost(messages, bytes_sent)
+            duration = lane_max + network + SYNC_COST
         return StepTimeline(
             index=self.index,
             phase=self.phase,
-            start=start,
-            duration=lane_max + network + SYNC_COST,
+            start=step_start,
+            duration=duration,
             lane_max=lane_max,
             network=network,
             bytes=bytes_sent,
@@ -188,6 +266,7 @@ class _StepBuilder:
             faults=faults,
             retries=retries,
             aborted=aborted,
+            relaxed=self.relaxed,
             wall_ms=wall_ms,
             spans=spans,
             worker_totals=totals,
@@ -206,15 +285,28 @@ def build_timeline(events) -> list[RunTimeline]:
     cursor = 0.0
     run: RunTimeline | None = None
     builder: _StepBuilder | None = None
+    #: rank -> pipeline frontier, carried across consecutive relaxed
+    #: waves and reset whenever a strict barrier re-aligns the lanes.
+    lane_end: dict[int, float] = {}
+    ship_end: dict[int, float] = {}
 
     def close_step(aborted: bool, **totals) -> None:
         nonlocal builder, cursor
         if builder is None or run is None:
             builder = None
             return
-        step = builder.finish(start=cursor, aborted=aborted, **totals)
+        step = builder.finish(
+            start=cursor,
+            aborted=aborted,
+            lane_end=lane_end,
+            ship_end=ship_end,
+            **totals,
+        )
         run.steps.append(step)
-        cursor = step.end
+        cursor = max(cursor, step.end)
+        if not step.relaxed:
+            lane_end.clear()
+            ship_end.clear()
         builder = None
 
     def close_run(summary: dict | None) -> None:
@@ -224,6 +316,8 @@ def build_timeline(events) -> list[RunTimeline]:
         close_step(aborted=True)
         run.summary = summary
         run.duration = cursor - run.start
+        lane_end.clear()
+        ship_end.clear()
         run = None
 
     for ev in events:
@@ -248,7 +342,14 @@ def build_timeline(events) -> list[RunTimeline]:
             )
         elif kind == "step_begin":
             close_step(aborted=True)
-            builder = _StepBuilder(ev["step"], ev["phase"])
+            builder = _StepBuilder(
+                ev["step"], ev["phase"],
+                relaxed=bool(ev.get("relaxed", False)),
+            )
+        elif kind == "drain" and builder is not None:
+            builder.add_drain(
+                ev["worker"], ev["src"], ev["messages"], ev["bytes"]
+            )
         elif kind == "compute_end" and builder is not None:
             delay = float(ev.get("straggler_delay", 0.0))
             builder.add(

@@ -26,6 +26,7 @@ Span taxonomy (the ``kind`` field of raw events):
                           update / invalidate / recover / assemble)
 ``step_abort``            a superstep torn down by a fatal worker loss
 ``compute_begin/_end``    one worker (or coordinator) compute attempt
+``drain``                 one inbound channel drained at a relaxed wave
 ``retry``                 supervisor absorbed a transient failure (backoff)
 ``recovery``              in-run checkpoint recovery of a fatal loss
 ``svc_submit/svc_reject`` service admission decisions
@@ -114,11 +115,47 @@ class Tracer:
         self._emit("run_end", run=self._run, **data)
         self._run_open = False
 
-    def step_begin(self, index: int, phase: str) -> None:
-        """Open superstep ``index`` of the current run."""
+    def step_begin(
+        self, index: int, phase: str, relaxed: bool = False
+    ) -> None:
+        """Open superstep ``index`` of the current run.
+
+        ``relaxed=True`` marks a barrier-relaxed wave; the flag is only
+        written when set, so strict-run traces stay byte-identical to
+        their pre-relaxed goldens.
+        """
         self._step = index
         self._step_phase = phase
-        self._emit("step_begin", run=self._run, step=index, phase=phase)
+        if relaxed:
+            self._emit(
+                "step_begin",
+                run=self._run,
+                step=index,
+                phase=phase,
+                relaxed=True,
+            )
+        else:
+            self._emit("step_begin", run=self._run, step=index, phase=phase)
+
+    def drain(
+        self, worker: int, src: int, messages: int, nbytes: int
+    ) -> None:
+        """``worker`` drained one inbound channel from ``src`` (relaxed).
+
+        Emitted once per non-empty (src, worker) channel at the start of
+        a relaxed wave; the timeline renders the wait for that channel's
+        arrival as a per-lane drain span instead of a global barrier.
+        """
+        self._emit(
+            "drain",
+            run=self._run,
+            step=self._step,
+            phase=self._step_phase,
+            worker=worker,
+            src=src,
+            messages=messages,
+            bytes=nbytes,
+        )
 
     def step_end(
         self,

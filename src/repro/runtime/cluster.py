@@ -25,20 +25,62 @@ from typing import Iterator
 from repro.runtime.costmodel import CostModel
 from repro.runtime.message import COORDINATOR, Message
 from repro.runtime.metrics import RunMetrics, SuperstepMetrics
-from repro.runtime.mpi_sim import MPIController
+from repro.runtime.mpi_sim import ChannelTransport, MPIController
+
+
+class PipelinedClocks:
+    """Per-worker virtual clocks for barrier-relaxed rounds.
+
+    In strict BSP every superstep advances one shared clock by the
+    slowest lane; in relaxed mode each worker's clock advances
+    independently (drain waits + its own compute + drain overhead) and
+    the run's simulated time is the *frontier* — the maximum clock. The
+    metered duration of a wave is the frontier's advance since the last
+    mark, so per-superstep times still sum to the run makespan.
+    """
+
+    def __init__(self, num_workers: int) -> None:
+        self.clocks: dict[int, float] = {w: 0.0 for w in range(num_workers)}
+        self._mark = 0.0
+
+    def frontier(self) -> float:
+        """The furthest worker clock (the run's virtual makespan)."""
+        return max(self.clocks.values(), default=0.0)
+
+    def advance(self) -> float:
+        """Frontier movement since the last mark (one wave's duration)."""
+        frontier = self.frontier()
+        moved = frontier - self._mark
+        self._mark = frontier
+        return max(moved, 0.0)
+
+    def barrier(self, seconds: float) -> float:
+        """A strict phase inside a relaxed run: everyone waits for the
+        frontier, then the phase's full superstep time is charged."""
+        frontier = self.frontier() + seconds
+        for worker in self.clocks:
+            self.clocks[worker] = frontier
+        return self.advance()
 
 
 class SuperstepHandle:
     """Accounting context for one BSP superstep."""
 
-    def __init__(self, cluster: "Cluster", phase: str) -> None:
+    def __init__(
+        self, cluster: "Cluster", phase: str, relaxed: bool = False
+    ) -> None:
         self._cluster = cluster
         self.phase = phase
+        #: True for a barrier-relaxed wave: traffic moved over the
+        #: channel transport and simulated time is the clock frontier's
+        #: advance, not makespan + network + barrier.
+        self.relaxed = relaxed
         self.index = len(cluster.metrics.supersteps)
         self._compute: dict[int, float] = {}
         self._bytes = 0
         self._messages = 0
         self._pairs = 0
+        self._channel_pairs: set[tuple[int, int]] = set()
         #: src rank -> [messages, bytes] shipped via :meth:`send`.
         self._sends: dict[int, list[int]] = {}
         #: real wall-clock start, only when the cluster measures wall
@@ -98,6 +140,10 @@ class SuperstepHandle:
         """Add pre-measured compute seconds for ``worker``."""
         self._compute[worker] = self._compute.get(worker, 0.0) + seconds
 
+    def compute_seconds(self, worker: int) -> float:
+        """Metered compute seconds of ``worker`` so far this superstep."""
+        return self._compute.get(worker, 0.0)
+
     def send(self, src: int, dst: int, payload: object) -> Message:
         """Send a message for delivery in the next superstep."""
         msg = self._cluster.mpi.send(src, dst, payload)
@@ -105,6 +151,25 @@ class SuperstepHandle:
         counts[0] += 1
         counts[1] += msg.size
         return msg
+
+    def send_channel(self, src: int, dst: int, payload: object):
+        """Buffer a batch on the relaxed channel transport.
+
+        Byte/message/pair accounting mirrors :meth:`send` + barrier
+        flush, so strict and relaxed supersteps report comparable
+        traffic totals; only the delivery schedule differs. Returns the
+        :class:`~repro.runtime.mpi_sim.ChannelEntry` so the engine can
+        stamp its ``send_clock``.
+        """
+        entry = self._cluster.channels.send(src, dst, payload)
+        counts = self._sends.setdefault(src, [0, 0])
+        counts[0] += 1
+        counts[1] += entry.size
+        self._messages += 1
+        if src != dst:
+            self._bytes += entry.size
+            self._channel_pairs.add((src, dst))
+        return entry
 
     def deliver(self) -> None:
         """Mid-superstep flush: deliver queued messages now.
@@ -121,12 +186,30 @@ class SuperstepHandle:
     def finish(self) -> SuperstepMetrics:
         """Barrier: flush traffic, compute simulated time, record metrics."""
         self.deliver()
+        self._pairs += len(self._channel_pairs)
         worker_times = [
             t for w, t in self._compute.items() if w != COORDINATOR
         ]
         makespan = max(worker_times, default=0.0)
         # Coordinator work is serialized with the workers' barrier.
         makespan += self._compute.get(COORDINATOR, 0.0)
+        clocks = self._cluster.clocks
+        if clocks is None:
+            simulated = self._cluster.cost_model.superstep_time(
+                makespan, self._bytes, self._pairs
+            )
+        elif self.relaxed:
+            # The engine advanced each worker's clock inside the wave;
+            # the wave's duration is the frontier's movement.
+            simulated = clocks.advance()
+        else:
+            # A strict phase inside a relaxed run synchronizes every
+            # clock at the frontier plus the full superstep time.
+            simulated = clocks.barrier(
+                self._cluster.cost_model.superstep_time(
+                    makespan, self._bytes, self._pairs
+                )
+            )
         faults = self._cluster.metrics.faults
         metrics = SuperstepMetrics(
             index=self.index,
@@ -135,9 +218,7 @@ class SuperstepHandle:
             compute_total=sum(self._compute.values()),
             bytes_sent=self._bytes,
             messages_sent=self._messages,
-            simulated_time=self._cluster.cost_model.superstep_time(
-                makespan, self._bytes, self._pairs
-            ),
+            simulated_time=simulated,
             active_workers=len(worker_times),
             faults_injected=faults.total_injected - self._faults_base,
             retries=faults.retries - self._retries_base,
@@ -175,6 +256,7 @@ class Cluster:
         injector=None,
         tracer=None,
         measure_wall: bool = False,
+        mode: str = "strict",
     ) -> None:
         self.num_workers = num_workers
         self.cost_model = cost_model or CostModel()
@@ -183,7 +265,15 @@ class Cluster:
         #: record real wall-clock per superstep (process backend); the
         #: virtual timeline and metrics are unaffected.
         self.measure_wall = measure_wall
+        self.mode = mode
         self.mpi = MPIController(num_workers, injector=injector)
+        #: relaxed-mode state: per-pair FIFO channels + per-worker
+        #: virtual clocks (None on strict clusters).
+        self.channels: ChannelTransport | None = None
+        self.clocks: PipelinedClocks | None = None
+        if mode == "relaxed":
+            self.channels = ChannelTransport(num_workers)
+            self.clocks = PipelinedClocks(num_workers)
         self.metrics = RunMetrics(engine=engine_name, num_workers=num_workers)
         if injector is not None:
             # One counter object end to end: the injector fires into the
@@ -191,16 +281,19 @@ class Cluster:
             self.metrics.faults = injector.counters
 
     @contextmanager
-    def superstep(self, phase: str) -> Iterator[SuperstepHandle]:
+    def superstep(
+        self, phase: str, relaxed: bool = False
+    ) -> Iterator[SuperstepHandle]:
         """Open a superstep; on exit the barrier flushes and is metered.
 
         A superstep torn down by an escaping exception (fatal worker
         loss) stays out of the metrics, exactly as before; the tracer —
-        if any — records the abort.
+        if any — records the abort. ``relaxed=True`` marks a
+        barrier-relaxed wave (channel traffic, frontier-delta timing).
         """
-        handle = SuperstepHandle(self, phase)
+        handle = SuperstepHandle(self, phase, relaxed=relaxed)
         if self.tracer is not None:
-            self.tracer.step_begin(handle.index, phase)
+            self.tracer.step_begin(handle.index, phase, relaxed=relaxed)
         try:
             yield handle
         except BaseException:

@@ -35,6 +35,11 @@ class CostModel:
     bandwidth: float = 125e6  # 1 Gb/s
     #: Fixed BSP barrier overhead per superstep, seconds.
     barrier_overhead: float = 5e-4
+    #: Per-worker channel-drain bookkeeping per relaxed wave, seconds.
+    #: Replaces the global barrier in ``mode="relaxed"``; keeping it at
+    #: or below ``barrier_overhead`` preserves the per-round makespan
+    #: dominance argument (relaxed advance <= strict superstep time).
+    drain_overhead: float = 2.5e-4
     #: Multiplier applied to measured Python compute time.
     compute_scale: float = 1.0
     #: When true, compute intervals are NOT measured with the wall clock;

@@ -1,0 +1,31 @@
+"""Fixture: GRP601 — relaxed opt-in on an unordered aggregator."""
+
+from repro.core.aggregators import LAST_WRITE
+from repro.core.pie import ParamSpec, PIEProgram
+
+
+class RelaxedLastWriteProgram(PIEProgram):
+    name = "fixture-grp601"
+
+    # Barrier-relaxed waves would reorder LAST_WRITE's winning write.
+    relaxed = True
+
+    def param_spec(self, query):
+        return ParamSpec(aggregator=LAST_WRITE, default=None)
+
+    def peval(self, fragment, query, params):
+        seen = {}
+        for v in fragment.border:
+            params.improve(v, seen.get(v))
+        return seen
+
+    def inceval(self, fragment, query, partial, params, changed):
+        for v in changed:
+            params.improve(v, partial.get(v))
+        return partial
+
+    def assemble(self, query, partials):
+        out = {}
+        for partial in partials:
+            out.update(partial)
+        return out

@@ -1,0 +1,37 @@
+"""Fixture: GRP602 — relaxed opt-in with an uninferable direction."""
+
+from repro.core.aggregators import Aggregator
+from repro.core.pie import ParamSpec, PIEProgram
+
+
+def _blend(old, new):
+    return new if old is None else (old + new) / 2
+
+
+class RelaxedOpaqueProgram(PIEProgram):
+    name = "fixture-grp602"
+
+    # The custom combine has no recognisable order: unverifiable.
+    relaxed = True
+
+    def param_spec(self, query):
+        return ParamSpec(
+            aggregator=Aggregator("blend", _blend, None), default=None
+        )
+
+    def peval(self, fragment, query, params):
+        mix = {}
+        for v in fragment.border:
+            params.improve(v, mix.get(v))
+        return mix
+
+    def inceval(self, fragment, query, partial, params, changed):
+        for v in changed:
+            params.improve(v, partial.get(v))
+        return partial
+
+    def assemble(self, query, partials):
+        out = {}
+        for partial in partials:
+            out.update(partial)
+        return out

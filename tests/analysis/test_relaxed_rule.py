@@ -1,0 +1,56 @@
+"""GRP6xx: the relaxed-mode eligibility family.
+
+The static rule must anchor on the class-level ``relaxed = True``
+marker, name the offending aggregator in its message (so the fix is
+obvious from the finding alone), and stay silent for the monotone
+builtins that legitimately opt in.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import analyze_path
+from repro.analysis.runner import active
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_grp601_names_the_offending_aggregator():
+    findings = active(analyze_path(str(FIXTURES / "viol_grp601.py")))
+    assert [f.code for f in findings] == ["GRP601"]
+    finding = findings[0]
+    assert "'LAST_WRITE'" in finding.message
+    assert "unordered" in finding.message
+    assert finding.program == "RelaxedLastWriteProgram"
+    # The finding anchors on the marker line, not the param_spec body.
+    marker_line = next(
+        i
+        for i, line in enumerate(
+            (FIXTURES / "viol_grp601.py").read_text().splitlines(), 1
+        )
+        if line.strip().startswith("relaxed = True")
+    )
+    assert finding.line == marker_line
+
+
+def test_grp602_flags_unverifiable_direction():
+    findings = active(analyze_path(str(FIXTURES / "viol_grp602.py")))
+    assert [f.code for f in findings] == ["GRP602"]
+    assert "'unknown' direction" in findings[0].message
+    assert "cannot verify" in findings[0].message
+
+
+def test_monotone_builtins_opt_in_cleanly():
+    src = Path(__file__).resolve().parents[2] / "src" / "repro"
+    for module in ("sssp", "bfs", "cc", "kcore"):
+        path = src / "algorithms" / f"{module}.py"
+        codes = [f.code for f in active(analyze_path(str(path)))]
+        assert not [c for c in codes if c.startswith("GRP6")], (module, codes)
+
+
+def test_programs_without_marker_are_not_checked():
+    # A non-monotone program that never opts in is GRP6xx-silent (the
+    # engine's bind gate only fires when mode="relaxed" is requested).
+    findings = active(analyze_path(str(FIXTURES / "viol_grp102.py")))
+    assert not [f for f in findings if f.code.startswith("GRP6")]
